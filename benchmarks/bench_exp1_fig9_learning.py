@@ -1,0 +1,54 @@
+"""Exp-1 / Figure 9: offline learning scalability and effectiveness.
+
+Regenerates the two series of Figure 9 (average analysis time per query and
+per sub-query as the join-number threshold grows) and the Exp-1 effectiveness
+numbers (templates learned, average rewrite improvement).  Paper reference
+points: 98 templates at 37 % average improvement on TPC-DS, per-query time
+growing super-linearly in the threshold, per-sub-query time growing linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+
+
+@pytest.mark.parametrize("join_threshold", [1, 2, 3])
+def test_fig9_learning_time_vs_join_threshold(benchmark, tpcds_bundle, settings, join_threshold):
+    """Average per-query analysis time at a given join-number threshold."""
+    queries = tpcds_bundle.workload.queries[:4]
+    config = settings.learning_config()
+    config.max_joins = join_threshold
+
+    def learn_once():
+        galo = Galo(
+            tpcds_bundle.workload.database,
+            knowledge_base=KnowledgeBase(),
+            learning_config=config,
+        )
+        return galo.learn(queries, workload_name=f"fig9-{join_threshold}")
+
+    report = benchmark.pedantic(learn_once, rounds=1, iterations=1)
+    benchmark.extra_info["join_threshold"] = join_threshold
+    benchmark.extra_info["avg_seconds_per_query"] = report.average_seconds_per_query
+    benchmark.extra_info["avg_seconds_per_subquery"] = report.average_seconds_per_subquery
+    benchmark.extra_info["templates_learned"] = report.template_count
+    assert report.average_seconds_per_query >= report.average_seconds_per_subquery
+
+
+def test_exp1_effectiveness_templates_and_improvement(benchmark, tpcds_bundle):
+    """Exp-1 effectiveness: templates learned and their average improvement."""
+    report = tpcds_bundle.learning_report
+
+    def summarize():
+        return (report.template_count, report.average_improvement)
+
+    count, improvement = benchmark(summarize)
+    benchmark.extra_info["templates_learned"] = count
+    benchmark.extra_info["average_improvement"] = improvement
+    benchmark.extra_info["paper_tpcds_templates"] = 98
+    benchmark.extra_info["paper_tpcds_avg_improvement"] = 0.37
+    assert count > 0
+    assert improvement > 0.15

@@ -1,0 +1,83 @@
+"""Exp-2 / Figure 10: matching performance improvement and cross-workload reuse.
+
+Regenerates Figure 10's per-query normalized runtimes for both workloads (the
+optimizer with GALO versus without) plus Exp-2's reuse statistic.  Paper
+reference points: average gain 49 % on matched TPC-DS queries and 40 % on
+matched client queries; 19/99 and 24/116 queries matched; 26 % of improved
+client queries reuse a TPC-DS-learned template.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _summarize(results):
+    changed = [r for r in results if r.plan_changed]
+    gains = [r.improvement for r in changed]
+    average = sum(gains) / len(gains) if gains else 0.0
+    return changed, average
+
+
+def test_fig10a_tpcds_reoptimization_gain(benchmark, tpcds_bundle):
+    queries = tpcds_bundle.workload.queries
+
+    def reoptimize_workload():
+        return tpcds_bundle.galo.reoptimize_workload(queries)
+
+    results = benchmark.pedantic(reoptimize_workload, rounds=1, iterations=1)
+    changed, average_gain = _summarize(results)
+    benchmark.extra_info["queries"] = len(queries)
+    benchmark.extra_info["matched_queries"] = len(changed)
+    benchmark.extra_info["average_gain"] = average_gain
+    benchmark.extra_info["normalized_runtimes"] = [
+        round(result.normalized_runtime, 3) for result in changed
+    ]
+    benchmark.extra_info["paper_average_gain"] = 0.49
+    benchmark.extra_info["paper_matched"] = "19 of 99"
+    assert changed, "expected matched queries"
+    assert average_gain > 0.10
+
+
+def test_fig10b_client_reoptimization_gain(benchmark, client_bundle):
+    queries = client_bundle.workload.queries
+
+    def reoptimize_workload():
+        return client_bundle.galo.reoptimize_workload(queries)
+
+    results = benchmark.pedantic(reoptimize_workload, rounds=1, iterations=1)
+    changed, average_gain = _summarize(results)
+    benchmark.extra_info["queries"] = len(queries)
+    benchmark.extra_info["matched_queries"] = len(changed)
+    benchmark.extra_info["average_gain"] = average_gain
+    benchmark.extra_info["paper_average_gain"] = 0.40
+    benchmark.extra_info["paper_matched"] = "24 of 116"
+    assert changed, "expected matched queries"
+    assert average_gain > 0.10
+
+
+def test_exp2_cross_workload_template_reuse(benchmark, tpcds_bundle, client_bundle):
+    """How many improved client queries were fixed by TPC-DS-learned templates."""
+    tpcds_templates = {
+        template_id
+        for record in tpcds_bundle.learning_report.records
+        for template_id in record.templates_learned
+    }
+    queries = client_bundle.workload.queries
+
+    def measure_reuse():
+        results = client_bundle.galo.reoptimize_workload(queries)
+        improved = [r for r in results if r.plan_changed and r.improvement > 0]
+        reused = [
+            r for r in improved
+            if any(t in tpcds_templates for t in r.matched_template_ids)
+        ]
+        return improved, reused
+
+    improved, reused = benchmark.pedantic(measure_reuse, rounds=1, iterations=1)
+    fraction = len(reused) / len(improved) if improved else 0.0
+    benchmark.extra_info["improved_client_queries"] = len(improved)
+    benchmark.extra_info["reused_tpcds_templates"] = len(reused)
+    benchmark.extra_info["reuse_fraction"] = fraction
+    benchmark.extra_info["paper_reuse"] = "6 of 23 (26%)"
+    assert improved

@@ -1,0 +1,55 @@
+"""Exp-3 / Figure 11: matching time as a function of the number of joined tables.
+
+Paper reference points: ~4.3 ms per rewrite at join-number 15 and ~34 ms at 32,
+growing roughly linearly and staying marginal relative to query runtimes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def plans_by_join_count(tpcds_bundle):
+    buckets = defaultdict(list)
+    for name, sql in tpcds_bundle.workload.queries:
+        qgm = tpcds_bundle.workload.database.explain(sql, query_name=name)
+        buckets[qgm.join_count].append(qgm)
+    return dict(sorted(buckets.items()))
+
+
+def test_fig11_matching_time_by_join_bucket(benchmark, tpcds_bundle, plans_by_join_count):
+    """Average knowledge-base matching time per query, bucketed by join count."""
+    engine = tpcds_bundle.galo.matching_engine
+
+    def match_everything():
+        timings = {}
+        for join_count, plans in plans_by_join_count.items():
+            total = 0.0
+            for qgm in plans:
+                _, elapsed_ms = engine.match_plan(qgm)
+                total += elapsed_ms
+            timings[join_count] = total / len(plans)
+        return timings
+
+    timings = benchmark.pedantic(match_everything, rounds=1, iterations=1)
+    benchmark.extra_info["avg_match_ms_by_join_count"] = {
+        str(k): round(v, 2) for k, v in timings.items()
+    }
+    benchmark.extra_info["knowledge_base_templates"] = len(tpcds_bundle.galo.knowledge_base)
+    benchmark.extra_info["paper_points"] = "4.3 ms @ 15 joins, 34 ms @ 32 joins"
+    assert all(value >= 0 for value in timings.values())
+
+
+@pytest.mark.parametrize("bucket_index", [0, -1])
+def test_fig11_single_bucket_match(benchmark, tpcds_bundle, plans_by_join_count, bucket_index):
+    """Matching cost for the smallest and largest join-count buckets."""
+    join_counts = list(plans_by_join_count)
+    join_count = join_counts[bucket_index]
+    qgm = plans_by_join_count[join_count][0]
+    engine = tpcds_bundle.galo.matching_engine
+
+    benchmark(lambda: engine.match_plan(qgm))
+    benchmark.extra_info["join_count"] = join_count

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against a "laptop" configuration of the workloads so the
+whole harness (`pytest benchmarks/ --benchmark-only`) completes in minutes.
+Scale the :class:`ExperimentSettings` up to approach the paper's setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings, build_bundle, learn_bundle
+
+BENCH_SETTINGS = ExperimentSettings(
+    scale=0.2,
+    tpcds_query_count=24,
+    client_query_count=24,
+    learning_query_count=8,
+    max_joins=3,
+    random_plans_per_subquery=4,
+    max_variants=2,
+)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def tpcds_bundle(settings):
+    """TPC-DS workload with a knowledge base already learned (shared by benches)."""
+    bundle = build_bundle("tpcds", settings)
+    learn_bundle(bundle, settings.learning_query_count)
+    return bundle
+
+
+@pytest.fixture(scope="session")
+def client_bundle(settings, tpcds_bundle):
+    """Client workload sharing the TPC-DS knowledge base (for reuse measurements)."""
+    bundle = build_bundle("client", settings, knowledge_base=tpcds_bundle.galo.knowledge_base)
+    learn_bundle(bundle, settings.learning_query_count)
+    return bundle

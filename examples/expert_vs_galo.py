@@ -1,0 +1,54 @@
+"""Comparative study: scripted "expert" baseline vs GALO (Exp-5 / Exp-6).
+
+For a handful of problematic sub-queries drawn from the TPC-DS-like workload,
+compare the cost of problem determination and the quality of the resulting fix
+between GALO's automatic learning and the scripted manual-expert baseline
+(hash joins in the original join order, order swap, table-scan substitution --
+the classic manual playbook, verified by execution).
+
+Run with::
+
+    python examples/expert_vs_galo.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.expert import ExpertModel, find_sample_patterns
+from repro.experiments.harness import format_table
+from repro.workloads import load_workload
+
+
+def main() -> None:
+    print("building the TPC-DS-like workload ...")
+    workload = load_workload("tpcds", scale=0.25, query_count=24)
+
+    print("discovering problematic sub-queries (GALO's learning analysis) ...\n")
+    patterns = find_sample_patterns(
+        workload.database, workload.queries, count=4, max_joins=3, random_plans=6
+    )
+    expert = ExpertModel(workload.database)
+
+    rows = []
+    for index, pattern in enumerate(patterns):
+        finding = expert.analyze(pattern, index)
+        rows.append(
+            [
+                f"#{index + 1} {pattern.name}",
+                f"{pattern.galo_analysis_seconds:.2f}",
+                f"{finding.expert_analysis_seconds:.2f}",
+                f"{pattern.galo_improvement * 100:.1f}%",
+                f"{finding.expert_improvement * 100:.1f}%" if finding.found_fix else "no fix found",
+            ]
+        )
+    print(format_table(
+        ["problem pattern", "GALO s", "expert s", "GALO gain", "expert gain"], rows
+    ))
+    print(
+        "\npaper reference (Figures 13-14): manual determination costs more than "
+        "twice the automatic learning, experts miss one of four patterns, and "
+        "their fixes never beat GALO's."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""GALO reproduction: Guided Automated Learning for query workload re-Optimization.
+
+This package is a from-scratch Python reproduction of the GALO system
+(Damasio et al., VLDB 2019).  It contains:
+
+* :mod:`repro.engine` -- a miniature DB2-like relational engine (SQL subset,
+  catalog and statistics, two-stage optimizer, volcano executor, random plan
+  generator, OPTGUIDELINES support) used as the substrate GALO optimizes.
+* :mod:`repro.rdf` -- an RDF triple store plus a SPARQL-subset evaluator,
+  replacing Apache Jena / Fuseki.
+* :mod:`repro.core` -- GALO itself: the transformation engine (QGM <-> RDF,
+  QGM -> SPARQL), the offline learning engine, the knowledge base, and the
+  online matching engine.
+* :mod:`repro.workloads` -- TPC-DS-like and "IBM client"-like synthetic
+  workloads (schemas, skewed data generators, query generators).
+* :mod:`repro.experiments` -- the harness that regenerates every experiment
+  (Exp-1 .. Exp-6, Figures 9-14) from the paper's evaluation section.
+"""
+
+from repro.core.galo import Galo, ReoptimizationResult
+from repro.core.knowledge_base import KnowledgeBase, ProblemPatternTemplate
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+
+__all__ = [
+    "Galo",
+    "ReoptimizationResult",
+    "KnowledgeBase",
+    "ProblemPatternTemplate",
+    "Database",
+    "DbConfig",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""GALO core: transformation engine, learning engine, knowledge base, matching engine."""
+
+from repro.core.galo import Galo, ReoptimizationResult
+from repro.core.knowledge_base import KnowledgeBase, ProblemPatternTemplate
+
+__all__ = ["Galo", "ReoptimizationResult", "KnowledgeBase", "ProblemPatternTemplate"]

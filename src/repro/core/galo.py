@@ -1,0 +1,97 @@
+"""The GALO facade: offline learning plus online re-optimization in one object.
+
+.. code-block:: python
+
+    from repro import Galo, Database
+
+    db = Database()
+    ...  # create tables, load data
+    galo = Galo(db)
+
+    # Offline: learn problem-pattern templates over a workload.
+    report = galo.learn(tpcds_queries, workload_name="TPC-DS")
+
+    # Online: re-optimize incoming queries (third optimization tier).
+    result = galo.reoptimize("SELECT ...", query_name="query24")
+    print(result.was_reoptimized, result.improvement)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.learning.engine import LearningConfig, LearningEngine, LearningReport
+from repro.core.matching.engine import (
+    MatchingConfig,
+    MatchingEngine,
+    QueryReoptimization,
+)
+from repro.engine.database import Database
+
+#: Public alias matching the terminology used throughout the docs.
+ReoptimizationResult = QueryReoptimization
+
+
+class Galo:
+    """Guided Automated Learning for query workload re-Optimization."""
+
+    def __init__(
+        self,
+        database: Database,
+        knowledge_base: Optional[KnowledgeBase] = None,
+        learning_config: Optional[LearningConfig] = None,
+        matching_config: Optional[MatchingConfig] = None,
+    ):
+        self.database = database
+        self.knowledge_base = knowledge_base or KnowledgeBase()
+        self.learning_engine = LearningEngine(
+            database, self.knowledge_base, learning_config
+        )
+        self.matching_engine = MatchingEngine(
+            database, self.knowledge_base, matching_config
+        )
+
+    # -- offline -------------------------------------------------------------
+
+    def learn(
+        self,
+        queries: Sequence[Union[str, Tuple[str, str]]],
+        workload_name: str = "workload",
+    ) -> LearningReport:
+        """Offline phase: learn problem-pattern templates over ``queries``."""
+        return self.learning_engine.learn_workload(queries, workload_name)
+
+    def learn_query(
+        self, sql: str, query_name: str = "", workload_name: str = ""
+    ):
+        """Learn over a single query (convenience wrapper)."""
+        return self.learning_engine.learn_query(
+            sql, query_name=query_name, workload_name=workload_name
+        )
+
+    # -- online ---------------------------------------------------------------
+
+    def reoptimize(
+        self, sql: str, query_name: str = "", execute: Optional[bool] = None
+    ) -> QueryReoptimization:
+        """Online phase: re-optimize one query using the knowledge base."""
+        return self.matching_engine.reoptimize(sql, query_name=query_name, execute=execute)
+
+    def reoptimize_workload(
+        self,
+        queries: Sequence[Union[str, Tuple[str, str]]],
+        execute: Optional[bool] = None,
+    ) -> List[QueryReoptimization]:
+        """Re-optimize a whole workload."""
+        return self.matching_engine.reoptimize_workload(queries, execute=execute)
+
+    # -- knowledge base management ---------------------------------------------
+
+    def save_knowledge_base(self, directory: str) -> None:
+        self.knowledge_base.save(directory)
+
+    @property
+    def template_count(self) -> int:
+        return len(self.knowledge_base)

@@ -1,0 +1,335 @@
+"""GALO's knowledge base.
+
+The knowledge base stores *problem-pattern templates*: the abstracted RDF form
+of a sub-plan the optimizer chooses that is known to under-perform, together
+with the recommended rewrite (as an OPTGUIDELINES document over canonical
+table labels) and bookkeeping (source workload, observed improvement).
+
+Abstraction is what makes templates reusable across queries and workloads:
+table and column names are replaced by canonical symbol labels
+(``TABLE_1``, ``TABLE_2``, ...), node resources are anonymized with unique
+identifiers, and per-node cardinalities become ``hasLowerCardinality`` /
+``hasHigherCardinality`` ranges established over the predicate property ranges
+sampled during learning.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import vocabulary as voc
+from repro.core.transform.sparql_gen import GeneratedSparql
+from repro.engine.catalog import Catalog
+from repro.engine.plan.physical import PlanNode
+from repro.rdf.graph import Graph
+from repro.rdf.sparql.evaluator import SparqlEngine
+from repro.rdf.terms import IRI, Literal
+
+
+@dataclass(frozen=True)
+class CardinalityBounds:
+    """Lower / upper bound for one template node's cardinality."""
+
+    lower: float
+    upper: float
+
+    def widened(self, factor: float) -> "CardinalityBounds":
+        """Widen the range multiplicatively (factor >= 1)."""
+        return CardinalityBounds(self.lower / factor, self.upper * factor)
+
+
+@dataclass
+class ProblemPatternTemplate:
+    """One knowledge-base entry: a problem pattern and its recommended rewrite."""
+
+    template_id: str
+    name: str
+    source_workload: str
+    source_query: str
+    join_count: int
+    problem_signature: str
+    guideline_xml: str
+    canonical_labels: Dict[str, str] = field(default_factory=dict)
+    improvement: float = 0.0
+    problem_summary: str = ""
+    recommended_summary: str = ""
+    cardinality_bounds: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "template_id": self.template_id,
+            "name": self.name,
+            "source_workload": self.source_workload,
+            "source_query": self.source_query,
+            "join_count": self.join_count,
+            "problem_signature": self.problem_signature,
+            "guideline_xml": self.guideline_xml,
+            "canonical_labels": self.canonical_labels,
+            "improvement": self.improvement,
+            "problem_summary": self.problem_summary,
+            "recommended_summary": self.recommended_summary,
+            "cardinality_bounds": {
+                str(key): list(value) for key, value in self.cardinality_bounds.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProblemPatternTemplate":
+        return cls(
+            template_id=payload["template_id"],
+            name=payload["name"],
+            source_workload=payload["source_workload"],
+            source_query=payload["source_query"],
+            join_count=payload["join_count"],
+            problem_signature=payload["problem_signature"],
+            guideline_xml=payload["guideline_xml"],
+            canonical_labels=dict(payload.get("canonical_labels", {})),
+            improvement=payload.get("improvement", 0.0),
+            problem_summary=payload.get("problem_summary", ""),
+            recommended_summary=payload.get("recommended_summary", ""),
+            cardinality_bounds={
+                int(key): (value[0], value[1])
+                for key, value in payload.get("cardinality_bounds", {}).items()
+            },
+        )
+
+
+@dataclass
+class TemplateMatch:
+    """A successful knowledge-base match for one sub-plan of an incoming query."""
+
+    template: ProblemPatternTemplate
+    #: canonical table label (e.g. ``TABLE_1``) -> table instance of the query
+    label_to_alias: Dict[str, str]
+    #: the sub-plan of the incoming QGM that matched the problem pattern
+    subplan_root: PlanNode
+    bindings: Dict[str, object] = field(default_factory=dict)
+
+
+class KnowledgeBase:
+    """RDF-backed store of problem-pattern templates (the paper's Fuseki/TDB)."""
+
+    def __init__(self) -> None:
+        self.graph = Graph()
+        self.templates: Dict[str, ProblemPatternTemplate] = {}
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    def __contains__(self, template_id: str) -> bool:
+        return template_id in self.templates
+
+    def template(self, template_id: str) -> ProblemPatternTemplate:
+        return self.templates[template_id]
+
+    def all_templates(self) -> List[ProblemPatternTemplate]:
+        return sorted(self.templates.values(), key=lambda t: t.name)
+
+    # ------------------------------------------------------------------
+
+    def add_template(
+        self,
+        *,
+        name: str,
+        source_workload: str,
+        source_query: str,
+        problem_root: PlanNode,
+        guideline_xml: str,
+        canonical_labels: Dict[str, str],
+        cardinality_bounds: Dict[int, CardinalityBounds],
+        improvement: float,
+        catalog: Optional[Catalog] = None,
+        problem_summary: str = "",
+        recommended_summary: str = "",
+        fpages_widening: float = 4.0,
+        row_size_slack: int = 24,
+    ) -> ProblemPatternTemplate:
+        """Abstract ``problem_root`` into a template and store it.
+
+        ``canonical_labels`` maps the problem plan's table instances to the
+        canonical symbol labels used in ``guideline_xml``.  ``cardinality_bounds``
+        is keyed by the problem plan's operator ids.
+        """
+        template_id = uuid.uuid4().hex[:12]
+        template = ProblemPatternTemplate(
+            template_id=template_id,
+            name=name,
+            source_workload=source_workload,
+            source_query=source_query,
+            join_count=len(problem_root.joins()),
+            problem_signature=problem_root.shape_signature(),
+            guideline_xml=guideline_xml,
+            canonical_labels=dict(canonical_labels),
+            improvement=improvement,
+            problem_summary=problem_summary,
+            recommended_summary=recommended_summary,
+            cardinality_bounds={
+                key: (bounds.lower, bounds.upper)
+                for key, bounds in cardinality_bounds.items()
+            },
+        )
+        self.templates[template_id] = template
+        self._add_template_triples(
+            template,
+            problem_root,
+            cardinality_bounds,
+            catalog,
+            fpages_widening,
+            row_size_slack,
+        )
+        return template
+
+    def _add_template_triples(
+        self,
+        template: ProblemPatternTemplate,
+        problem_root: PlanNode,
+        cardinality_bounds: Dict[int, CardinalityBounds],
+        catalog: Optional[Catalog],
+        fpages_widening: float,
+        row_size_slack: int,
+    ) -> None:
+        template_resource = voc.TEMPLATE[template.template_id]
+        graph = self.graph
+        graph.add_triple(template_resource, voc.HAS_TEMPLATE_ID, Literal(template.template_id))
+        graph.add_triple(template_resource, voc.HAS_SOURCE_WORKLOAD, Literal(template.source_workload))
+        graph.add_triple(template_resource, voc.HAS_SOURCE_QUERY, Literal(template.source_query))
+        graph.add_triple(template_resource, voc.HAS_GUIDELINE, Literal(template.guideline_xml))
+        graph.add_triple(template_resource, voc.HAS_IMPROVEMENT, Literal(round(template.improvement, 4)))
+        graph.add_triple(template_resource, voc.HAS_JOIN_COUNT, Literal(template.join_count))
+        graph.add_triple(
+            template_resource, voc.HAS_PROBLEM_SIGNATURE, Literal(template.problem_signature)
+        )
+
+        # Anonymize node resources: each gets a unique identifier so templates
+        # from different queries never collide (Section 3.2 of the paper).
+        resources: Dict[int, IRI] = {}
+        for node in problem_root.walk():
+            resources[node.operator_id] = voc.TEMPLATE[
+                f"{template.template_id}/pop/{uuid.uuid4().hex[:8]}"
+            ]
+
+        for node in problem_root.walk():
+            resource = resources[node.operator_id]
+            graph.add_triple(resource, voc.IN_TEMPLATE, template_resource)
+            graph.add_triple(resource, voc.HAS_POP_TYPE, Literal(node.display_type))
+
+            bounds = cardinality_bounds.get(
+                node.operator_id,
+                CardinalityBounds(node.estimated_cardinality, node.estimated_cardinality),
+            )
+            graph.add_triple(resource, voc.HAS_LOWER_CARDINALITY, Literal(round(bounds.lower, 4)))
+            graph.add_triple(resource, voc.HAS_HIGHER_CARDINALITY, Literal(round(bounds.upper, 4)))
+
+            if node.is_scan:
+                alias = node.table_alias or ""
+                label = template.canonical_labels.get(alias, alias)
+                graph.add_triple(resource, voc.HAS_TABLE_LABEL, Literal(label))
+                if catalog is not None and node.table and catalog.has_table(node.table):
+                    stats = catalog.statistics(node.table)
+                    schema = catalog.table_schema(node.table)
+                    graph.add_triple(
+                        resource,
+                        voc.HAS_LOWER_FPAGES,
+                        Literal(max(1, int(stats.pages / fpages_widening))),
+                    )
+                    graph.add_triple(
+                        resource,
+                        voc.HAS_HIGHER_FPAGES,
+                        Literal(int(stats.pages * fpages_widening) + 1),
+                    )
+                    graph.add_triple(
+                        resource,
+                        voc.HAS_LOWER_ROW_SIZE,
+                        Literal(max(1, schema.row_width - row_size_slack)),
+                    )
+                    graph.add_triple(
+                        resource,
+                        voc.HAS_HIGHER_ROW_SIZE,
+                        Literal(schema.row_width + row_size_slack),
+                    )
+
+            for child in node.inputs:
+                graph.add_triple(
+                    resources[child.operator_id], voc.HAS_OUTPUT_STREAM, resource
+                )
+
+    # ------------------------------------------------------------------
+
+    def match(
+        self, generated: GeneratedSparql, subplan_root: Optional[PlanNode] = None
+    ) -> List[TemplateMatch]:
+        """Run a generated matching query against the knowledge base."""
+        engine = SparqlEngine(self.graph)
+        solutions = engine.query(generated.text)
+        matches: List[TemplateMatch] = []
+        seen_templates = set()
+        segment_nodes = list(generated.node_for_variable.values())
+        segment_joins = sum(1 for node in segment_nodes if node.is_join)
+        segment_scans = sum(1 for node in segment_nodes if node.is_scan)
+        for solution in solutions:
+            template_node = solution.get(generated.template_variable)
+            if not isinstance(template_node, IRI):
+                continue
+            template_id = template_node.value.rsplit("/", 1)[-1]
+            if template_id not in self.templates or template_id in seen_templates:
+                continue
+            template = self.templates[template_id]
+            # The segment must cover the *whole* problem pattern; binding only a
+            # sub-portion of a larger template would produce a guideline that
+            # references tables absent from the matched region.
+            if template.join_count != segment_joins:
+                continue
+            if len(template.canonical_labels) != segment_scans:
+                continue
+            seen_templates.add(template_id)
+            label_to_alias: Dict[str, str] = {}
+            for label_variable, scan_node in generated.label_variables.items():
+                value = solution.get(label_variable)
+                if isinstance(value, Literal) and scan_node.table_alias:
+                    label_to_alias[str(value.value)] = scan_node.table_alias
+            root = subplan_root
+            if root is None and generated.node_for_variable:
+                root = next(iter(generated.node_for_variable.values()))
+            matches.append(
+                TemplateMatch(
+                    template=self.templates[template_id],
+                    label_to_alias=label_to_alias,
+                    subplan_root=root,
+                    bindings=dict(solution),
+                )
+            )
+        return matches
+
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist the knowledge base (N-Triples graph + JSON template registry)."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / "knowledge_base.nt").write_text(self.graph.to_ntriples(), encoding="utf-8")
+        registry = {
+            template_id: template.to_dict()
+            for template_id, template in self.templates.items()
+        }
+        (path / "templates.json").write_text(
+            json.dumps(registry, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory: str) -> "KnowledgeBase":
+        """Load a knowledge base previously written by :meth:`save`."""
+        path = Path(directory)
+        kb = cls()
+        kb.graph = Graph.from_ntriples((path / "knowledge_base.nt").read_text(encoding="utf-8"))
+        registry = json.loads((path / "templates.json").read_text(encoding="utf-8"))
+        kb.templates = {
+            template_id: ProblemPatternTemplate.from_dict(payload)
+            for template_id, payload in registry.items()
+        }
+        return kb

@@ -1,0 +1,15 @@
+"""Offline learning engine: sub-query generation, plan ranking, template discovery."""
+
+from repro.core.learning.engine import LearningEngine, LearningConfig, LearningReport
+from repro.core.learning.subquery import SubQuery, generate_subqueries
+from repro.core.learning.ranking import rank_measurements, kmeans_two_clusters
+
+__all__ = [
+    "LearningEngine",
+    "LearningConfig",
+    "LearningReport",
+    "SubQuery",
+    "generate_subqueries",
+    "rank_measurements",
+    "kmeans_two_clusters",
+]

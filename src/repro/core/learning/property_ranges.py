@@ -1,0 +1,111 @@
+"""Predicate property-range sampling.
+
+To make a learned template reusable, the learning engine varies the values of
+a sub-query's predicates to obtain different reduction factors (and hence
+result cardinalities), and establishes the template's lower/upper cardinality
+bounds over the variants that share the same best plan (Section 3.2).  The
+alternative values are sampled from the database itself -- e.g. for
+``i_category = 'Jewelry'`` the sampler finds that ``'Music'`` returns 74,426
+rows while ``IS NULL`` returns 1,949.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import ColumnRef, Comparison, Literal, Predicate
+from repro.engine.sql.binder import BoundQuery
+
+
+@dataclass
+class PredicateVariant:
+    """One predicate-value variation of a sub-query."""
+
+    query: BoundQuery
+    description: str
+    #: True for the unmodified sub-query.
+    is_original: bool = False
+
+
+def _replaceable_predicates(query: BoundQuery) -> List[tuple]:
+    """(alias, index, predicate) triples for equality predicates with literals."""
+    out = []
+    for alias, predicates in query.local_predicates.items():
+        for index, predicate in enumerate(predicates):
+            if (
+                isinstance(predicate, Comparison)
+                and predicate.op == "="
+                and isinstance(predicate.left, ColumnRef)
+                and isinstance(predicate.right, Literal)
+            ):
+                out.append((alias, index, predicate))
+    return out
+
+
+def _alternative_values(
+    catalog: Catalog, query: BoundQuery, predicate: Comparison, count: int
+) -> List[object]:
+    """Sample alternative literal values for ``predicate`` from the statistics.
+
+    Frequent values with a spread of frequencies are preferred so the variants
+    cover meaningfully different reduction factors.
+    """
+    column: ColumnRef = predicate.left  # type: ignore[assignment]
+    table = query.table_for_alias(column.qualifier).table
+    stats = catalog.statistics(table).column(column.column)
+    current = predicate.right.value  # type: ignore[union-attr]
+    frequents = [value for value, _ in stats.frequent_values if value != current]
+    if not frequents:
+        return []
+    # Pick values spread across the frequency spectrum: most frequent, median,
+    # least frequent of the tracked top-k.
+    picks = []
+    for position in (0, len(frequents) // 2, len(frequents) - 1):
+        value = frequents[position]
+        if value not in picks:
+            picks.append(value)
+    return picks[:count]
+
+
+def _with_replaced_predicate(
+    query: BoundQuery, alias: str, index: int, new_predicate: Predicate
+) -> BoundQuery:
+    local = {a: list(ps) for a, ps in query.local_predicates.items()}
+    local[alias][index] = new_predicate
+    return BoundQuery(
+        sql=query.sql,
+        tables=list(query.tables),
+        select_items=list(query.select_items),
+        select_star=query.select_star,
+        local_predicates=local,
+        join_predicates=list(query.join_predicates),
+        group_by=list(query.group_by),
+        order_by=list(query.order_by),
+    )
+
+
+def generate_variants(
+    catalog: Catalog,
+    query: BoundQuery,
+    variants_per_predicate: int = 2,
+    max_variants: int = 4,
+) -> List[PredicateVariant]:
+    """The original sub-query plus predicate-value variations sampled from data."""
+    variants: List[PredicateVariant] = [
+        PredicateVariant(query=query, description="original", is_original=True)
+    ]
+    for alias, index, predicate in _replaceable_predicates(query):
+        for value in _alternative_values(catalog, query, predicate, variants_per_predicate):
+            replaced = Comparison(op="=", left=predicate.left, right=Literal(value))
+            variant_query = _with_replaced_predicate(query, alias, index, replaced)
+            variants.append(
+                PredicateVariant(
+                    query=variant_query,
+                    description=f"{predicate.left} = {value!r}",
+                )
+            )
+            if len(variants) >= max_variants:
+                return variants
+    return variants

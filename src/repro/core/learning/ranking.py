@@ -1,0 +1,107 @@
+"""Plan ranking: noise removal via K-means clustering and tie breaking.
+
+Each candidate plan is run several times by ``db2batch``.  Because the samples
+are noisy (server / network interference), the paper's ranking module clusters
+the elapsed times into two clusters -- *prospective* and *anomaly* -- keeps the
+prospective one, and only then compares plans.  Ties are broken on other
+resource measures (buffer-pool reads, CPU, sort-heap high-water mark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.executor.db2batch import BatchMeasurement
+
+
+def kmeans_two_clusters(
+    values: Sequence[float], iterations: int = 25
+) -> Tuple[List[int], Tuple[float, float]]:
+    """1-D K-means with k=2.
+
+    Returns per-value cluster assignments (0 = lower-mean cluster, the
+    *prospective* one; 1 = higher-mean *anomaly* cluster) and the two final
+    centroids.  With fewer than two distinct values everything is prospective.
+    """
+    values = list(values)
+    if not values:
+        return [], (0.0, 0.0)
+    low, high = min(values), max(values)
+    if low == high:
+        return [0] * len(values), (low, high)
+    centroids = [low, high]
+    assignments = [0] * len(values)
+    for _ in range(iterations):
+        new_assignments = [
+            0 if abs(value - centroids[0]) <= abs(value - centroids[1]) else 1
+            for value in values
+        ]
+        if new_assignments == assignments and _ > 0:
+            break
+        assignments = new_assignments
+        for cluster in (0, 1):
+            members = [value for value, a in zip(values, assignments) if a == cluster]
+            if members:
+                centroids[cluster] = sum(members) / len(members)
+    if centroids[0] > centroids[1]:
+        centroids = [centroids[1], centroids[0]]
+        assignments = [1 - a for a in assignments]
+    return assignments, (centroids[0], centroids[1])
+
+
+def robust_elapsed_ms(measurement: BatchMeasurement) -> float:
+    """Elapsed time after discarding the anomaly cluster of the repeated runs."""
+    samples = measurement.run_elapsed_ms
+    if len(samples) <= 2:
+        return min(samples) if samples else measurement.base_elapsed_ms
+    assignments, centroids = kmeans_two_clusters(samples)
+    prospective = [s for s, a in zip(samples, assignments) if a == 0]
+    # Guard: if the clustering degenerates (everything anomalous), fall back.
+    if not prospective:
+        prospective = samples
+    # Only treat the high cluster as anomalous when it is clearly separated;
+    # otherwise the "anomaly" cluster is just the upper half of normal noise.
+    if centroids[0] > 0 and centroids[1] / max(centroids[0], 1e-9) < 1.3:
+        prospective = samples
+    return sum(prospective) / len(prospective)
+
+
+@dataclass
+class RankedPlan:
+    """A benchmarked plan with its noise-filtered elapsed time."""
+
+    measurement: BatchMeasurement
+    elapsed_ms: float
+
+    @property
+    def tie_breaker(self) -> Tuple[float, float, float, float]:
+        """Secondary resource measures, compared only on (near-)ties."""
+        metrics = self.measurement.metrics
+        return (
+            float(metrics.logical_reads),
+            float(metrics.physical_reads),
+            float(metrics.cpu_operations),
+            float(metrics.sort_heap_high_water_mark),
+        )
+
+
+def rank_measurements(
+    measurements: Sequence[BatchMeasurement], tie_tolerance: float = 0.02
+) -> List[RankedPlan]:
+    """Rank plans by noise-filtered elapsed time (resource usage breaks ties)."""
+    ranked = [
+        RankedPlan(measurement=m, elapsed_ms=robust_elapsed_ms(m)) for m in measurements
+    ]
+
+    def sort_key(plan: RankedPlan):
+        return (plan.elapsed_ms, plan.tie_breaker)
+
+    ranked.sort(key=sort_key)
+    if len(ranked) >= 2:
+        best, runner_up = ranked[0], ranked[1]
+        if best.elapsed_ms > 0:
+            gap = abs(runner_up.elapsed_ms - best.elapsed_ms) / best.elapsed_ms
+            if gap <= tie_tolerance and runner_up.tie_breaker < best.tie_breaker:
+                ranked[0], ranked[1] = runner_up, best
+    return ranked

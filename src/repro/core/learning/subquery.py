@@ -1,0 +1,178 @@
+"""Sub-query generation.
+
+Large workload queries are decomposed into all *connected* sub-queries up to a
+predefined size threshold (number of joins).  A sub-query keeps the join and
+local predicates applicable to its selected tables and projects a small column
+list, exactly like the paper's Figure 3 example (a three-way TPC-DS join
+reduced to a two-way join between ``web_sales`` and ``item``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.engine.expressions import ColumnRef, Comparison
+from repro.engine.sql.binder import BoundQuery, BoundSelectItem, BoundTable
+
+
+@dataclass
+class SubQuery:
+    """One generated sub-query: a bound query block plus bookkeeping."""
+
+    parent_sql: str
+    aliases: Tuple[str, ...]
+    query: BoundQuery
+    sql: str
+
+    @property
+    def join_count(self) -> int:
+        return max(0, len(self.aliases) - 1)
+
+    def structure_key(self) -> Tuple:
+        """Key used to merge structurally identical sub-queries across queries.
+
+        Two sub-queries with the same tables, join edges and local-predicate
+        shape are evaluated once (the paper: "sub-queries with the same
+        structure over different queries can be merged").
+        """
+        tables = tuple(sorted(t.table for t in self.query.tables))
+        joins = tuple(
+            sorted(
+                tuple(sorted((_column_key(p.left), _column_key(p.right))))
+                for p in self.query.join_predicates
+            )
+        )
+        locals_shape = tuple(
+            sorted(
+                (self.query.table_for_alias(alias).table, str(predicate))
+                for alias, predicates in self.query.local_predicates.items()
+                for predicate in predicates
+            )
+        )
+        return (tables, joins, locals_shape)
+
+
+def _column_key(side) -> str:
+    if isinstance(side, ColumnRef):
+        return side.column
+    return repr(side)
+
+
+def _connected_subsets(
+    aliases: Sequence[str],
+    edges: Dict[str, set],
+    max_size: int,
+) -> List[FrozenSet[str]]:
+    """All connected alias subsets of size 2..max_size (grown via BFS expansion)."""
+    subsets: set = set()
+    frontier = {frozenset([alias]) for alias in aliases}
+    for _ in range(1, max_size):
+        next_frontier = set()
+        for subset in frontier:
+            neighbours = set()
+            for member in subset:
+                neighbours |= edges.get(member, set())
+            for neighbour in neighbours - subset:
+                grown = subset | {neighbour}
+                if grown not in subsets:
+                    next_frontier.add(frozenset(grown))
+        subsets |= next_frontier
+        frontier = next_frontier
+    return sorted(subsets, key=lambda s: (len(s), tuple(sorted(s))))
+
+
+def _project_query(parent: BoundQuery, aliases: FrozenSet[str]) -> BoundQuery:
+    """Build a sub-query over ``aliases``: keep applicable predicates, drop aggregation."""
+    tables = [table for table in parent.tables if table.alias in aliases]
+    select_items = _select_items_for(parent, tables)
+    query = BoundQuery(
+        sql="",
+        tables=tables,
+        select_items=select_items,
+        select_star=False,
+        local_predicates={
+            alias: list(parent.local_predicates.get(alias, []))
+            for alias in aliases
+            if parent.local_predicates.get(alias)
+        },
+        join_predicates=[
+            predicate
+            for predicate in parent.join_predicates
+            if predicate.referenced_qualifiers() <= aliases
+        ],
+        group_by=[],
+        order_by=[],
+    )
+    query.sql = _render_sql(query)
+    return query
+
+
+def _select_items_for(parent: BoundQuery, tables: List[BoundTable]) -> List[BoundSelectItem]:
+    """Project a small, deterministic column list from the sub-query's tables."""
+    items: List[BoundSelectItem] = []
+    kept_aliases = {table.alias for table in tables}
+    for item in parent.select_items:
+        if item.column is not None and item.column.qualifier in kept_aliases and not item.is_aggregate:
+            items.append(BoundSelectItem(column=item.column))
+        if len(items) >= 4:
+            break
+    if not items and tables:
+        first = tables[0]
+        for column in first.schema.columns[:2]:
+            items.append(
+                BoundSelectItem(column=ColumnRef(first.alias, column.name))
+            )
+    return items
+
+
+def _render_sql(query: BoundQuery) -> str:
+    """Synthesize SQL text for a programmatically built sub-query."""
+    select_list = ", ".join(
+        item.column.key.lower() for item in query.select_items if item.column is not None
+    ) or "*"
+    from_list = ", ".join(
+        f"{table.table.lower()} {table.alias}" for table in query.tables
+    )
+    conditions: List[str] = [str(p) for p in query.join_predicates]
+    for predicates in query.local_predicates.values():
+        conditions.extend(str(p) for p in predicates)
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT {select_list} FROM {from_list}{where}"
+
+
+def generate_subqueries(
+    query: BoundQuery, max_joins: int, include_full_query: bool = False
+) -> List[SubQuery]:
+    """Generate all connected sub-queries of ``query`` with up to ``max_joins`` joins."""
+    aliases = query.aliases
+    edges: Dict[str, set] = {alias: set() for alias in aliases}
+    for predicate in query.join_predicates:
+        qualifiers = sorted(predicate.referenced_qualifiers())
+        if len(qualifiers) == 2:
+            left, right = qualifiers
+            edges[left].add(right)
+            edges[right].add(left)
+
+    max_tables = max_joins + 1
+    if include_full_query:
+        max_tables = max(max_tables, len(aliases))
+    subsets = _connected_subsets(aliases, edges, min(max_tables, len(aliases)))
+
+    subqueries: List[SubQuery] = []
+    for subset in subsets:
+        if len(subset) < 2:
+            continue
+        if len(subset) > max_joins + 1 and not include_full_query:
+            continue
+        projected = _project_query(query, subset)
+        subqueries.append(
+            SubQuery(
+                parent_sql=query.sql,
+                aliases=tuple(sorted(subset)),
+                query=projected,
+                sql=projected.sql,
+            )
+        )
+    return subqueries

@@ -1,0 +1,6 @@
+"""Online matching engine: plan segmentation, KB matching, re-optimization."""
+
+from repro.core.matching.engine import MatchingConfig, MatchingEngine, QueryReoptimization
+from repro.core.matching.segmenter import segment_plan
+
+__all__ = ["MatchingEngine", "MatchingConfig", "QueryReoptimization", "segment_plan"]

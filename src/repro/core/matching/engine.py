@@ -1,0 +1,219 @@
+"""The online matching engine.
+
+Given an incoming SQL query, the engine obtains the optimizer's QGM, segments
+it, translates each segment into a SPARQL query (query-by-example) and runs it
+against the knowledge base.  Every matched problem pattern contributes its
+recommended rewrite -- a guideline whose canonical table labels are remapped to
+the query's actual table instances -- and the collected guideline document is
+submitted with the query to the optimizer for re-optimization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.knowledge_base import KnowledgeBase, TemplateMatch
+from repro.core.matching.segmenter import segment_plan
+from repro.core.planutils import remap_guideline_document
+from repro.core.transform.sparql_gen import sparql_for_subplan
+from repro.engine.database import Database
+from repro.engine.optimizer.guidelines import GuidelineDocument, parse_guidelines
+from repro.engine.plan.physical import PlanNode, Qgm
+from repro.engine.sql.binder import BoundQuery
+
+
+@dataclass
+class MatchingConfig:
+    """Knobs of the online matching / re-optimization process."""
+
+    #: Join-number cap for plan segmentation (same threshold as learning).
+    max_joins: int = 4
+    #: Tolerance applied to cardinalities in the generated SPARQL (1.0 = exact).
+    cardinality_tolerance: float = 1.0
+    #: Whether FPages / row-size checks are included in the generated SPARQL.
+    check_row_size: bool = True
+    #: Execute the original and re-optimized plans to measure the gain.
+    execute_plans: bool = True
+
+
+@dataclass
+class QueryReoptimization:
+    """Outcome of re-optimizing one query."""
+
+    query_name: str
+    sql: str
+    original_qgm: Qgm
+    reoptimized_qgm: Qgm
+    guideline_document: GuidelineDocument
+    matches: List[TemplateMatch] = field(default_factory=list)
+    match_time_ms: float = 0.0
+    original_elapsed_ms: Optional[float] = None
+    reoptimized_elapsed_ms: Optional[float] = None
+
+    @property
+    def was_reoptimized(self) -> bool:
+        return bool(self.matches) and not self.guideline_document.is_empty
+
+    @property
+    def plan_changed(self) -> bool:
+        """True when the honoured guidelines produced a different plan.
+
+        A guideline can be matched yet end up not altering the plan (the
+        optimizer may already agree with it, or may reject it as incompatible);
+        such queries are matched but not re-optimized in any meaningful sense.
+        """
+        if not self.was_reoptimized:
+            return False
+        original = (
+            self.original_qgm.shape_signature(),
+            tuple(self.original_qgm.aliases()),
+        )
+        reoptimized = (
+            self.reoptimized_qgm.shape_signature(),
+            tuple(self.reoptimized_qgm.aliases()),
+        )
+        return original != reoptimized
+
+    @property
+    def matched_template_ids(self) -> List[str]:
+        return [match.template.template_id for match in self.matches]
+
+    @property
+    def improvement(self) -> float:
+        """Relative runtime improvement (0 when the query was not re-optimized)."""
+        if (
+            self.original_elapsed_ms is None
+            or self.reoptimized_elapsed_ms is None
+            or self.original_elapsed_ms <= 0
+        ):
+            return 0.0
+        return (self.original_elapsed_ms - self.reoptimized_elapsed_ms) / self.original_elapsed_ms
+
+    @property
+    def normalized_runtime(self) -> float:
+        """Re-optimized runtime as a fraction of the original (Figure 10's blue bar)."""
+        if (
+            self.original_elapsed_ms is None
+            or self.reoptimized_elapsed_ms is None
+            or self.original_elapsed_ms <= 0
+        ):
+            return 1.0
+        return self.reoptimized_elapsed_ms / self.original_elapsed_ms
+
+
+class MatchingEngine:
+    """Re-optimizes queries online using the knowledge base."""
+
+    def __init__(
+        self,
+        database: Database,
+        knowledge_base: KnowledgeBase,
+        config: Optional[MatchingConfig] = None,
+    ):
+        self.database = database
+        self.knowledge_base = knowledge_base
+        self.config = config or MatchingConfig()
+
+    # ------------------------------------------------------------------
+
+    def match_plan(self, qgm: Qgm) -> Tuple[List[TemplateMatch], float]:
+        """Match a QGM's segments against the knowledge base.
+
+        Returns the matches (at most one per plan segment, preferring the
+        template with the largest recorded improvement) and the matching time
+        in milliseconds.
+        """
+        started = time.perf_counter()
+        matches: List[TemplateMatch] = []
+        claimed_aliases: set = set()
+        segments = segment_plan(qgm, self.config.max_joins)
+        # Prefer larger (more specific) segments first.
+        for segment in reversed(segments):
+            segment_aliases = set(segment.aliases())
+            if segment_aliases & claimed_aliases:
+                continue
+            generated = sparql_for_subplan(
+                segment,
+                catalog=self.database.catalog,
+                check_row_size=self.config.check_row_size,
+                cardinality_tolerance=self.config.cardinality_tolerance,
+            )
+            found = self.knowledge_base.match(generated, subplan_root=segment)
+            if not found:
+                continue
+            best = max(found, key=lambda match: match.template.improvement)
+            matches.append(best)
+            claimed_aliases |= segment_aliases
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return matches, elapsed_ms
+
+    def build_guidelines(self, matches: Sequence[TemplateMatch]) -> GuidelineDocument:
+        """Collect the recommended rewrites of ``matches`` into one document."""
+        document = GuidelineDocument()
+        for match in matches:
+            template_document = parse_guidelines(match.template.guideline_xml)
+            remapped = remap_guideline_document(template_document, match.label_to_alias)
+            document.elements.extend(remapped.elements)
+        return document
+
+    # ------------------------------------------------------------------
+
+    def reoptimize(
+        self,
+        sql: str,
+        query_name: str = "",
+        execute: Optional[bool] = None,
+    ) -> QueryReoptimization:
+        """Run the full online pipeline for one query."""
+        execute = self.config.execute_plans if execute is None else execute
+        original_qgm = self.database.explain(sql, query_name=query_name)
+        matches, match_time_ms = self.match_plan(original_qgm)
+        guideline_document = self.build_guidelines(matches)
+        if guideline_document.is_empty:
+            reoptimized_qgm = original_qgm
+        else:
+            reoptimized_qgm = self.database.explain(
+                sql, guidelines=guideline_document, query_name=f"{query_name} (re-optimized)"
+            )
+
+        result = QueryReoptimization(
+            query_name=query_name,
+            sql=sql,
+            original_qgm=original_qgm,
+            reoptimized_qgm=reoptimized_qgm,
+            guideline_document=guideline_document,
+            matches=matches,
+            match_time_ms=match_time_ms,
+        )
+        if execute:
+            original_run = self.database.execute_plan(original_qgm)
+            result.original_elapsed_ms = original_run.elapsed_ms
+            if guideline_document.is_empty:
+                result.reoptimized_elapsed_ms = original_run.elapsed_ms
+            else:
+                reoptimized_run = self.database.execute_plan(reoptimized_qgm)
+                # Runtimes here are *simulated* milliseconds (they stand in for
+                # the minutes-to-hours runtimes of the paper's queries), while
+                # the matching time is real wall-clock.  The paper reports the
+                # rewrite overhead as marginal relative to query runtimes, so we
+                # keep the two separate: ``match_time_ms`` is reported on its
+                # own rather than folded into the simulated runtime.
+                result.reoptimized_elapsed_ms = reoptimized_run.elapsed_ms
+        return result
+
+    def reoptimize_workload(
+        self,
+        queries: Sequence[Union[str, Tuple[str, str]]],
+        execute: Optional[bool] = None,
+    ) -> List[QueryReoptimization]:
+        """Re-optimize a whole workload (list of SQL strings or (name, sql) pairs)."""
+        results = []
+        for position, entry in enumerate(queries, start=1):
+            if isinstance(entry, tuple):
+                query_name, sql = entry
+            else:
+                query_name, sql = f"Q{position}", entry
+            results.append(self.reoptimize(sql, query_name=query_name, execute=execute))
+        return results

@@ -1,0 +1,32 @@
+"""Plan segmentation for online matching.
+
+At re-optimization time a potentially large QGM is segmented into sub-QGMs
+whose size is capped by the same join-number threshold used during learning.
+The matcher climbs the plan from the leaves towards the RETURN operator,
+emitting every join-rooted subtree of admissible size (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.planutils import join_tree_root
+from repro.engine.plan.physical import PlanNode, Qgm
+
+
+def segment_plan(qgm: Qgm, max_joins: int) -> List[PlanNode]:
+    """Return the join-rooted sub-plans of ``qgm`` with at most ``max_joins`` joins.
+
+    Segments are ordered bottom-up by size (larger segments last) so a matcher
+    that prefers the most specific pattern can simply iterate in reverse.
+    """
+    join_root = join_tree_root(qgm)
+    segments: List[PlanNode] = []
+    for node in join_root.walk():
+        if not node.is_join:
+            continue
+        join_count = len(node.joins())
+        if join_count <= max_joins:
+            segments.append(node)
+    segments.sort(key=lambda node: (len(node.joins()), node.operator_id))
+    return segments

@@ -1,0 +1,79 @@
+"""Shared plan helpers used by both the learning and the matching engines."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.optimizer.guidelines import (
+    GuidelineAccess,
+    GuidelineDocument,
+    GuidelineElement,
+    GuidelineJoin,
+)
+from repro.engine.plan.physical import PlanNode, PopType, Qgm
+
+
+#: Operators that sit above the join tree and are not part of a problem pattern.
+_TOP_OPERATORS = (PopType.RETURN, PopType.GRPBY, PopType.SORT, PopType.FILTER)
+
+
+def join_tree_root(plan: "PlanNode | Qgm") -> PlanNode:
+    """Descend past RETURN / GRPBY / SORT / FILTER to the top of the join tree.
+
+    Problem patterns are about join structure and access paths; the operators
+    the query adds on top (grouping, final ordering) are not abstracted into
+    templates.
+    """
+    node = plan.root if isinstance(plan, Qgm) else plan
+    while node.pop_type in _TOP_OPERATORS and node.inputs:
+        node = node.inputs[0]
+    return node
+
+
+def canonical_label_map(problem_root: PlanNode) -> Dict[str, str]:
+    """Map each table instance of ``problem_root`` to a canonical symbol label.
+
+    Labels are assigned in scan (pre-order) order: ``TABLE_1``, ``TABLE_2``, ...
+    This is the abstraction step that detaches a template from the concrete
+    table names of the query it was learned on.
+    """
+    mapping: Dict[str, str] = {}
+    for scan in problem_root.scans():
+        alias = scan.table_alias
+        if alias and alias not in mapping:
+            mapping[alias] = f"TABLE_{len(mapping) + 1}"
+    return mapping
+
+
+def remap_guideline_element(
+    element: GuidelineElement, mapping: Dict[str, str]
+) -> GuidelineElement:
+    """Return a copy of ``element`` with every TABID translated through ``mapping``.
+
+    Used in both directions: learning maps concrete aliases to canonical labels
+    before storing a guideline, matching maps canonical labels back to the
+    incoming query's table instances.
+    """
+    if isinstance(element, GuidelineAccess):
+        tabid = element.tabid
+        return GuidelineAccess(
+            method=element.method,
+            tabid=mapping.get(tabid, tabid) if tabid else tabid,
+            table=element.table,
+            index=element.index,
+        )
+    return GuidelineJoin(
+        method=element.method,
+        outer=remap_guideline_element(element.outer, mapping),
+        inner=remap_guideline_element(element.inner, mapping),
+        bloom_filter=element.bloom_filter,
+    )
+
+
+def remap_guideline_document(
+    document: GuidelineDocument, mapping: Dict[str, str]
+) -> GuidelineDocument:
+    """Translate every TABID in ``document`` through ``mapping``."""
+    return GuidelineDocument(
+        elements=[remap_guideline_element(element, mapping) for element in document.elements]
+    )

@@ -1,0 +1,6 @@
+"""Transformation engine: QGM <-> RDF and QGM -> SPARQL translation."""
+
+from repro.core.transform.rdf_mapper import qgm_to_rdf, subplan_to_rdf
+from repro.core.transform.sparql_gen import sparql_for_subplan
+
+__all__ = ["qgm_to_rdf", "subplan_to_rdf", "sparql_for_subplan"]

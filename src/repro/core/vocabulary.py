@@ -1,0 +1,58 @@
+"""RDF vocabulary used by GALO's knowledge base and transformation engine.
+
+The property IRIs follow the paper's examples (``http://galo/qep/property/...``),
+e.g. ``hasPopType``, ``hasEstimateCardinality``, ``hasOuterInputStream``,
+``hasOutputStream``, ``hasLowerCardinality`` / ``hasHigherCardinality``.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespace import KB_PROPERTY, KB_TEMPLATE, QEP_POP, QEP_PROPERTY
+
+#: Namespace for LOLEPOP resources of a translated QGM.
+POP = QEP_POP
+#: Namespace for QEP/template properties.
+PROP = QEP_PROPERTY
+#: Namespace for knowledge-base template resources.
+TEMPLATE = KB_TEMPLATE
+#: Namespace for knowledge-base bookkeeping properties.
+KBPROP = KB_PROPERTY
+
+# -- plan structure ----------------------------------------------------------
+HAS_POP_TYPE = PROP["hasPopType"]
+HAS_OUTPUT_STREAM = PROP["hasOutputStream"]
+HAS_OUTER_INPUT_STREAM = PROP["hasOuterInputStream"]
+HAS_INNER_INPUT_STREAM = PROP["hasInnerInputStream"]
+
+# -- plan annotations ---------------------------------------------------------
+HAS_ESTIMATE_CARDINALITY = PROP["hasEstimateCardinality"]
+HAS_ACTUAL_CARDINALITY = PROP["hasActualCardinality"]
+HAS_ESTIMATE_COST = PROP["hasEstimateCost"]
+HAS_TABLE_NAME = PROP["hasTableName"]
+HAS_TABLE_INSTANCE = PROP["hasTableInstance"]
+HAS_TABLE_CARDINALITY = PROP["hasTableCardinality"]
+HAS_INDEX_NAME = PROP["hasIndexName"]
+HAS_ROW_SIZE = PROP["hasRowSize"]
+HAS_FPAGES = PROP["hasFPages"]
+HAS_BLOOM_FILTER = PROP["hasBloomFilter"]
+HAS_OPERATOR_ID = PROP["hasOperatorId"]
+
+# -- template ranges (lower / upper bounds established during learning) -------
+HAS_LOWER_CARDINALITY = PROP["hasLowerCardinality"]
+HAS_HIGHER_CARDINALITY = PROP["hasHigherCardinality"]
+HAS_LOWER_FPAGES = PROP["hasLowerFPages"]
+HAS_HIGHER_FPAGES = PROP["hasHigherFPages"]
+HAS_LOWER_ROW_SIZE = PROP["hasLowerRowSize"]
+HAS_HIGHER_ROW_SIZE = PROP["hasHigherRowSize"]
+
+# -- template bookkeeping -------------------------------------------------------
+IN_TEMPLATE = KBPROP["inTemplate"]
+HAS_TABLE_LABEL = KBPROP["hasTableLabel"]
+HAS_COLUMN_LABEL = KBPROP["hasColumnLabel"]
+HAS_GUIDELINE = KBPROP["hasGuideline"]
+HAS_TEMPLATE_ID = KBPROP["hasTemplateId"]
+HAS_SOURCE_WORKLOAD = KBPROP["hasSourceWorkload"]
+HAS_SOURCE_QUERY = KBPROP["hasSourceQuery"]
+HAS_IMPROVEMENT = KBPROP["hasImprovement"]
+HAS_JOIN_COUNT = KBPROP["hasJoinCount"]
+HAS_PROBLEM_SIGNATURE = KBPROP["hasProblemSignature"]

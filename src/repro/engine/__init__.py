@@ -1,0 +1,21 @@
+"""Miniature DB2-like relational engine used as GALO's substrate.
+
+The engine provides everything GALO needs from the database system it
+re-optimizes:
+
+* a catalog with tables, columns, indexes and statistics
+  (:mod:`repro.engine.catalog`, :mod:`repro.engine.statistics`);
+* a SQL-subset parser and binder (:mod:`repro.engine.sql`);
+* a two-stage optimizer -- heuristic query rewrite followed by System-R style
+  cost-based join enumeration -- that produces QGM-style physical plans made of
+  DB2 LOLEPOPs (:mod:`repro.engine.optimizer`, :mod:`repro.engine.plan`);
+* a volcano-style executor with a simulated runtime cost model, buffer pool
+  and sort spills (:mod:`repro.engine.executor`);
+* a Random Plan Generator and OPTGUIDELINES support, the two DB2 facilities
+  the paper's learning and matching engines rely on.
+"""
+
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+
+__all__ = ["Database", "DbConfig"]

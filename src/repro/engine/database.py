@@ -1,0 +1,96 @@
+"""High-level engine facade: one object bundling catalog, optimizer and executor.
+
+``Database`` is the public entry point downstream code (and GALO itself) uses:
+
+.. code-block:: python
+
+    db = Database()
+    db.create_table(schema)
+    db.load_rows("ITEM", rows)
+    qgm = db.explain("SELECT ... FROM item, web_sales WHERE ...")
+    result = db.execute_sql("SELECT ...")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.engine.catalog import Catalog
+from repro.engine.config import DbConfig
+from repro.engine.executor.db2batch import BatchMeasurement, Db2Batch
+from repro.engine.executor.executor import ExecutionResult, Executor
+from repro.engine.optimizer.guidelines import GuidelineDocument
+from repro.engine.optimizer.optimizer import Optimizer
+from repro.engine.optimizer.random_plans import RandomPlanGenerator
+from repro.engine.plan.physical import Qgm
+from repro.engine.schema import Index, TableSchema
+from repro.engine.sql.binder import BoundQuery
+from repro.engine.statistics import TableStatistics
+
+
+class Database:
+    """An in-memory database instance: catalog + optimizer + executor."""
+
+    def __init__(self, config: Optional[DbConfig] = None, name: str = "GALODB"):
+        self.name = name
+        self.config = config or DbConfig()
+        self.catalog = Catalog(self.config)
+        self.optimizer = Optimizer(self.catalog, self.config)
+        self.executor = Executor(self.catalog, self.config)
+        self.random_plan_generator = RandomPlanGenerator(self.catalog, self.config)
+
+    # -- DDL / DML -----------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        self.catalog.create_table(schema)
+
+    def create_index(self, index: Index) -> None:
+        self.catalog.create_index(index)
+
+    def load_rows(self, table: str, rows: Iterable[dict]) -> int:
+        return self.catalog.load_rows(table, rows)
+
+    def runstats(self, table: str) -> TableStatistics:
+        return self.catalog.runstats(table)
+
+    @property
+    def tables(self) -> List[str]:
+        return self.catalog.table_names
+
+    # -- planning -----------------------------------------------------------
+
+    def bind(self, sql: str) -> BoundQuery:
+        return self.optimizer.bind_sql(sql)
+
+    def explain(
+        self,
+        sql: str,
+        guidelines: Union[GuidelineDocument, str, None] = None,
+        query_name: str = "",
+    ) -> Qgm:
+        """Optimize ``sql`` (optionally with guidelines) and return the QGM."""
+        return self.optimizer.optimize_sql(sql, guidelines=guidelines, query_name=query_name)
+
+    def random_plans(self, sql: str, count: int, query_name: str = "") -> List[Qgm]:
+        """Generate random alternative plans via the Random Plan Generator."""
+        query = self.bind(sql)
+        return self.random_plan_generator.generate(query, count, query_name=query_name)
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_plan(self, qgm: Qgm) -> ExecutionResult:
+        return self.executor.execute(qgm)
+
+    def execute_sql(
+        self,
+        sql: str,
+        guidelines: Union[GuidelineDocument, str, None] = None,
+    ) -> ExecutionResult:
+        """Optimize and execute ``sql`` in one call."""
+        qgm = self.explain(sql, guidelines=guidelines)
+        return self.execute_plan(qgm)
+
+    def benchmark_plan(self, qgm: Qgm, runs: int = 5) -> BatchMeasurement:
+        """Benchmark a plan the way the paper uses ``db2batch``."""
+        batch = Db2Batch(self.catalog, self.config, runs=runs)
+        return batch.benchmark(qgm)

@@ -1,0 +1,7 @@
+"""Plan execution and runtime simulation."""
+
+from repro.engine.executor.executor import ExecutionResult, Executor
+from repro.engine.executor.metrics import RuntimeMetrics
+from repro.engine.executor.db2batch import Db2Batch, BatchMeasurement
+
+__all__ = ["Executor", "ExecutionResult", "RuntimeMetrics", "Db2Batch", "BatchMeasurement"]

@@ -1,0 +1,85 @@
+"""`db2batch`-style benchmarking of plans.
+
+The paper obtains runtime statistics by executing candidate QGMs several times
+via DB2's ``db2batch`` utility; repeated runs are needed because measurements
+are noisy (server and network load).  This module reproduces that workflow:
+each run's simulated elapsed time is perturbed by deterministic multiplicative
+noise (seeded per plan and run), and occasionally by a large "interference"
+spike, so the ranking module's K-means outlier removal has real work to do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.catalog import Catalog
+from repro.engine.config import DbConfig
+from repro.engine.executor.executor import ExecutionResult, Executor
+from repro.engine.executor.metrics import RuntimeMetrics
+from repro.engine.plan.physical import Qgm
+
+
+@dataclass
+class BatchMeasurement:
+    """One benchmarked plan: the clean execution plus noisy per-run timings."""
+
+    qgm: Qgm
+    base_elapsed_ms: float
+    run_elapsed_ms: List[float]
+    metrics: RuntimeMetrics
+    result: ExecutionResult
+
+    @property
+    def median_elapsed_ms(self) -> float:
+        ordered = sorted(self.run_elapsed_ms)
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+class Db2Batch:
+    """Runs a plan multiple times and reports noisy elapsed-time samples."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[DbConfig] = None,
+        runs: int = 5,
+        interference_probability: float = 0.12,
+        interference_factor: float = 2.5,
+    ):
+        self.catalog = catalog
+        self.config = config or catalog.config
+        self.executor = Executor(catalog, self.config)
+        self.runs = max(1, runs)
+        self.interference_probability = interference_probability
+        self.interference_factor = interference_factor
+
+    def benchmark(self, qgm: Qgm) -> BatchMeasurement:
+        """Execute ``qgm`` once for real, then derive noisy per-run timings."""
+        result = self.executor.execute(qgm)
+        base = result.elapsed_ms
+        rng = random.Random(self._seed_for(qgm))
+        samples = []
+        for _ in range(self.runs):
+            noise = 1.0 + rng.gauss(0.0, self.config.noise_level)
+            sample = base * max(0.5, noise)
+            if rng.random() < self.interference_probability:
+                sample *= self.interference_factor
+            samples.append(sample)
+        return BatchMeasurement(
+            qgm=qgm,
+            base_elapsed_ms=base,
+            run_elapsed_ms=samples,
+            metrics=result.metrics,
+            result=result,
+        )
+
+    def _seed_for(self, qgm: Qgm) -> int:
+        text = (qgm.sql or "") + "|" + qgm.shape_signature() + "|".join(qgm.aliases())
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return (int(digest[:8], 16) ^ self.config.noise_seed) & 0x7FFFFFFF

@@ -1,0 +1,67 @@
+"""Runtime metrics collected during plan execution.
+
+These are the same resource measures the paper's ranking module uses as tie
+breakers: elapsed time, buffer pool logical/physical reads, CPU work, and the
+sort-heap high-water mark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.engine.config import DbConfig
+
+
+@dataclass
+class RuntimeMetrics:
+    """Aggregated runtime counters for one plan execution."""
+
+    rows_processed: int = 0
+    rows_returned: int = 0
+    logical_reads: int = 0
+    physical_reads: int = 0
+    sequential_pages: int = 0
+    random_pages: int = 0
+    sort_rows: int = 0
+    spill_pages: int = 0
+    hash_build_rows: int = 0
+    hash_probe_rows: int = 0
+    bloom_filtered_rows: int = 0
+    index_lookups: int = 0
+    cpu_operations: int = 0
+    sort_heap_high_water_mark: int = 0
+
+    def merge(self, other: "RuntimeMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        for name in self.__dataclass_fields__:
+            if name == "sort_heap_high_water_mark":
+                self.sort_heap_high_water_mark = max(
+                    self.sort_heap_high_water_mark, other.sort_heap_high_water_mark
+                )
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def elapsed_ms(self, config: DbConfig) -> float:
+        """Simulated elapsed milliseconds from the runtime cost constants."""
+        io_time = (
+            self.sequential_pages * config.run_seq_page_cost
+            + self.random_pages * config.run_rand_page_cost
+            + self.physical_reads * config.run_rand_page_cost * 0.1
+        )
+        cpu_time = (
+            self.cpu_operations * config.run_cpu_row_cost
+            + self.rows_processed * config.run_cpu_row_cost
+            + self.hash_build_rows * config.run_hash_build_row_cost
+            + self.hash_probe_rows * config.run_hash_probe_row_cost
+            - self.bloom_filtered_rows * config.run_hash_probe_row_cost * 0.6
+        )
+        sort_time = (
+            self.sort_rows * config.run_sort_row_cost
+            + self.spill_pages * config.run_spill_page_cost
+        )
+        lookup_time = self.index_lookups * config.run_rand_page_cost * 0.05
+        return max(0.0, io_time + cpu_time + sort_time + lookup_time)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}

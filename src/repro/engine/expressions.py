@@ -1,0 +1,237 @@
+"""Predicate and scalar expression trees.
+
+Expressions are shared between the SQL AST, the optimizer (which estimates
+their selectivity) and the executor (which evaluates them against rows).
+Rows are dictionaries keyed by ``"<alias>.<column>"`` so the same expression
+evaluates correctly before and after joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``qualifier.column`` (qualifier = table alias)."""
+
+    qualifier: str
+    column: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.qualifier}.{self.column}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.key
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value (already coerced to its Python representation)."""
+
+    value: Any
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+class Predicate:
+    """Base class for boolean expressions."""
+
+    def evaluate(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        raise NotImplementedError
+
+    def referenced_qualifiers(self) -> FrozenSet[str]:
+        return frozenset(ref.qualifier for ref in self.referenced_columns())
+
+
+def _value_of(operand: Any, row: Row) -> Any:
+    if isinstance(operand, ColumnRef):
+        return row.get(operand.key)
+    if isinstance(operand, Literal):
+        return operand.value
+    return operand
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``left <op> right`` where each side is a ColumnRef or Literal."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = _value_of(self.left, row)
+        right = _value_of(self.right, row)
+        if left is None or right is None:
+            return False
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return _COMPARATORS[self.op](str(left), str(right))
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        refs = set()
+        for operand in (self.left, self.right):
+            if isinstance(operand, ColumnRef):
+                refs.add(operand)
+        return frozenset(refs)
+
+    @property
+    def is_join_predicate(self) -> bool:
+        """True when both sides are column references on different qualifiers."""
+        return (
+            isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+            and self.left.qualifier != self.right.qualifier
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``column BETWEEN low AND high`` (inclusive)."""
+
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+    def evaluate(self, row: Row) -> bool:
+        value = row.get(self.column.key)
+        if value is None:
+            return False
+        return self.low.value <= value <= self.high.value
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return frozenset({self.column})
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.column} BETWEEN {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: Tuple[Any, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        value = row.get(self.column.key)
+        if value is None:
+            return False
+        return value in self.values
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return frozenset({self.column})
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(
+            f"'{value}'" if isinstance(value, str) else str(value)
+            for value in self.values
+        )
+        return f"{self.column} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnRef
+    negated: bool = False
+
+    def evaluate(self, row: Row) -> bool:
+        value = row.get(self.column.key)
+        return (value is not None) if self.negated else (value is None)
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return frozenset({self.column})
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.column} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    children: Tuple[Predicate, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return all(child.evaluate(row) for child in self.children)
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        refs: set = set()
+        for child in self.children:
+            refs |= child.referenced_columns()
+        return frozenset(refs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return " AND ".join(str(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    children: Tuple[Predicate, ...]
+
+    def evaluate(self, row: Row) -> bool:
+        return any(child.evaluate(row) for child in self.children)
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        refs: set = set()
+        for child in self.children:
+            refs |= child.referenced_columns()
+        return frozenset(refs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "(" + " OR ".join(str(child) for child in self.children) + ")"
+
+
+def conjuncts(predicate: Optional[Predicate]) -> List[Predicate]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        flattened: List[Predicate] = []
+        for child in predicate.children:
+            flattened.extend(conjuncts(child))
+        return flattened
+    return [predicate]
+
+
+def conjunction(predicates: Sequence[Predicate]) -> Optional[Predicate]:
+    """Combine predicates into a single AND (or None / the single predicate)."""
+    predicates = [predicate for predicate in predicates if predicate is not None]
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(tuple(predicates))

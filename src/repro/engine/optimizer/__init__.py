@@ -1,0 +1,27 @@
+"""Two-stage optimizer: heuristic query rewrite plus cost-based planning.
+
+Also hosts the two DB2 facilities GALO relies on:
+
+* :mod:`repro.engine.optimizer.random_plans` -- the Random Plan Generator used
+  by the offline learning engine to find competing plans;
+* :mod:`repro.engine.optimizer.guidelines` -- OPTGUIDELINES documents, the
+  mechanism through which GALO's matching engine steers re-optimization.
+"""
+
+from repro.engine.optimizer.optimizer import Optimizer
+from repro.engine.optimizer.guidelines import (
+    GuidelineAccess,
+    GuidelineDocument,
+    GuidelineJoin,
+    parse_guidelines,
+)
+from repro.engine.optimizer.random_plans import RandomPlanGenerator
+
+__all__ = [
+    "Optimizer",
+    "RandomPlanGenerator",
+    "GuidelineDocument",
+    "GuidelineJoin",
+    "GuidelineAccess",
+    "parse_guidelines",
+]

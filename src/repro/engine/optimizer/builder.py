@@ -1,0 +1,332 @@
+"""Plan construction and annotation shared by the optimizer, the random plan
+generator, and the guideline processor.
+
+A :class:`PlanBuilder` knows how to build access paths and join nodes for one
+bound query, annotating every node with the optimizer's estimated cardinality
+and cumulative cost.  Keeping this in one place guarantees that a plan forced
+through a guideline, a plan drawn by the Random Plan Generator and a plan found
+by dynamic programming are all costed identically -- which the paper relies on
+when it re-optimizes a query "through the optimizer again".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import (
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    Predicate,
+)
+from repro.engine.optimizer.cardinality import CardinalityEstimator
+from repro.engine.optimizer.costmodel import CostModel
+from repro.engine.plan.physical import (
+    PlanNode,
+    PopType,
+    filter_node,
+    group_by,
+    index_scan,
+    join,
+    sort,
+    table_scan,
+)
+from repro.engine.schema import Index
+from repro.engine.sql.binder import BoundQuery
+from repro.errors import PlanError
+
+
+def sargable_column(predicate: Predicate) -> Optional[ColumnRef]:
+    """Return the column a predicate constrains if an index could serve it."""
+    if isinstance(predicate, Comparison) and isinstance(predicate.left, ColumnRef):
+        if isinstance(predicate.right, Literal):
+            return predicate.left
+    if isinstance(predicate, Comparison) and isinstance(predicate.right, ColumnRef):
+        if isinstance(predicate.left, Literal):
+            return predicate.right
+    if isinstance(predicate, (Between, InList)):
+        return predicate.column
+    return None
+
+
+class PlanBuilder:
+    """Builds cost-annotated plan nodes for one bound query."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: BoundQuery,
+        estimator: Optional[CardinalityEstimator] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.catalog = catalog
+        self.query = query
+        self.estimator = estimator or CardinalityEstimator(catalog, query)
+        self.cost_model = cost_model or CostModel(catalog)
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+
+    def candidate_access_paths(self, alias: str) -> List[PlanNode]:
+        """All access paths for ``alias``: one TBSCAN plus one IXSCAN per usable index."""
+        bound = self.query.table_for_alias(alias)
+        predicates = tuple(self.query.predicates_for(alias))
+        output_rows = self.estimator.scan_cardinality(alias, predicates)
+
+        candidates: List[PlanNode] = []
+        tbscan = table_scan(bound.table, alias, predicates)
+        tbscan.estimated_cardinality = output_rows
+        tbscan.estimated_cost = self.cost_model.table_scan_cost(bound.table, output_rows)
+        candidates.append(tbscan)
+
+        sargable = {
+            ref.column for ref in map(sargable_column, predicates) if ref is not None
+        }
+        join_columns = self._join_columns(alias)
+        for index in bound.schema.indexes:
+            usable = index.column in sargable or index.column in join_columns
+            if not usable:
+                continue
+            matching = self._index_matching_rows(alias, index, predicates)
+            ixscan = index_scan(bound.table, alias, index.name, predicates, fetch=True)
+            ixscan.estimated_cardinality = output_rows
+            ixscan.estimated_cost = self.cost_model.index_scan_cost(
+                bound.table, index, matching, fetch=True
+            )
+            ixscan.properties["sorted_on"] = ColumnRef(alias, index.column)
+            candidates.append(ixscan)
+        return candidates
+
+    def best_access_path(self, alias: str) -> PlanNode:
+        """Cheapest access path for ``alias`` according to the optimizer."""
+        candidates = self.candidate_access_paths(alias)
+        return min(candidates, key=lambda node: node.estimated_cost)
+
+    def forced_access_path(
+        self, alias: str, method: str, index_name: Optional[str] = None
+    ) -> PlanNode:
+        """Build the access path a guideline dictates for ``alias``."""
+        bound = self.query.table_for_alias(alias)
+        predicates = tuple(self.query.predicates_for(alias))
+        output_rows = self.estimator.scan_cardinality(alias, predicates)
+        method = method.upper()
+        if method == "TBSCAN":
+            node = table_scan(bound.table, alias, predicates)
+            node.estimated_cardinality = output_rows
+            node.estimated_cost = self.cost_model.table_scan_cost(bound.table, output_rows)
+            return node
+        if method == "IXSCAN":
+            index = self._resolve_index(bound.schema.indexes, alias, index_name)
+            matching = self._index_matching_rows(alias, index, predicates)
+            node = index_scan(bound.table, alias, index.name, predicates, fetch=True)
+            node.estimated_cardinality = output_rows
+            node.estimated_cost = self.cost_model.index_scan_cost(
+                bound.table, index, matching, fetch=True
+            )
+            node.properties["sorted_on"] = ColumnRef(alias, index.column)
+            return node
+        raise PlanError(f"unsupported access method {method!r}")
+
+    def _resolve_index(
+        self, indexes: Sequence[Index], alias: str, index_name: Optional[str]
+    ) -> Index:
+        if not indexes:
+            raise PlanError(f"table instance {alias!r} has no indexes for IXSCAN")
+        if index_name:
+            cleaned = index_name.strip('"')
+            for index in indexes:
+                if index.name == cleaned or index.column.upper() == cleaned.upper():
+                    return index
+        join_columns = self._join_columns(alias)
+        for index in indexes:
+            if index.column in join_columns:
+                return index
+        return indexes[0]
+
+    def _index_matching_rows(
+        self, alias: str, index: Index, predicates: Sequence[Predicate]
+    ) -> float:
+        """Rows the index scan qualifies before residual predicates are applied."""
+        table_rows = self.estimator.table_cardinality(alias)
+        selectivity = 1.0
+        key = ColumnRef(alias, index.column)
+        for predicate in predicates:
+            if sargable_column(predicate) == key:
+                selectivity *= self.estimator.predicate_selectivity(predicate)
+        return max(1.0, table_rows * selectivity)
+
+    def _join_columns(self, alias: str) -> set:
+        columns = set()
+        for predicate in self.query.join_predicates:
+            for side in (predicate.left, predicate.right):
+                if isinstance(side, ColumnRef) and side.qualifier == alias:
+                    columns.add(side.column)
+        return columns
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def join_predicates_between(self, outer: PlanNode, inner: PlanNode) -> Tuple[Comparison, ...]:
+        outer_aliases = frozenset(outer.aliases())
+        inner_aliases = frozenset(inner.aliases())
+        return tuple(self.query.joins_between(outer_aliases, inner_aliases))
+
+    def make_join(
+        self,
+        join_type: PopType,
+        outer: PlanNode,
+        inner: PlanNode,
+        bloom_filter: bool = False,
+    ) -> PlanNode:
+        """Build and annotate a join node over two annotated inputs."""
+        join_predicates = self.join_predicates_between(outer, inner)
+        output_rows = self.estimator.join_cardinality(
+            outer.estimated_cardinality, inner.estimated_cardinality, join_predicates
+        )
+
+        if join_type is PopType.MSJOIN:
+            outer, inner = self._prepare_merge_inputs(outer, inner, join_predicates)
+            operator_cost = self.cost_model.merge_join_cost(
+                outer.estimated_cardinality,
+                inner.estimated_cardinality,
+                output_rows,
+                outer_sorted=True,
+                inner_sorted=True,
+            )
+        elif join_type is PopType.HSJOIN:
+            operator_cost = self.cost_model.hash_join_cost(
+                outer.estimated_cardinality,
+                inner.estimated_cardinality,
+                output_rows,
+                bloom_filter=bloom_filter,
+            )
+        elif join_type is PopType.NLJOIN:
+            inner = self._prepare_nljoin_inner(inner, join_predicates)
+            lookup_cost = self._nljoin_lookup_cost(inner, join_predicates)
+            operator_cost = self.cost_model.nested_loop_join_cost(
+                outer.estimated_cardinality, lookup_cost, output_rows
+            )
+        else:
+            raise PlanError(f"{join_type} is not a join operator")
+
+        node = join(join_type, outer, inner, join_predicates, bloom_filter=bloom_filter)
+        node.estimated_cardinality = output_rows
+        node.estimated_cost = outer.estimated_cost + inner.estimated_cost + operator_cost
+        if join_type is PopType.MSJOIN:
+            sorted_key = self._join_key_for(outer, join_predicates)
+            if sorted_key is not None:
+                node.properties["sorted_on"] = sorted_key
+        return node
+
+    def _prepare_merge_inputs(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        join_predicates: Tuple[Comparison, ...],
+    ) -> Tuple[PlanNode, PlanNode]:
+        """Insert SORT nodes under a merge join for any unsorted input."""
+        prepared = []
+        for node in (outer, inner):
+            key = self._join_key_for(node, join_predicates)
+            if key is None:
+                prepared.append(node)
+                continue
+            if node.properties.get("sorted_on") == key:
+                prepared.append(node)
+                continue
+            sort_node = sort(node, key)
+            sort_node.estimated_cardinality = node.estimated_cardinality
+            sort_node.estimated_cost = node.estimated_cost + self.cost_model.sort_cost(
+                node.estimated_cardinality
+            )
+            sort_node.properties["sorted_on"] = key
+            prepared.append(sort_node)
+        return prepared[0], prepared[1]
+
+    def _prepare_nljoin_inner(
+        self, inner: PlanNode, join_predicates: Tuple[Comparison, ...]
+    ) -> PlanNode:
+        """Convert the inner of a nested-loop join into an index lookup if possible."""
+        if not inner.is_scan or not join_predicates:
+            return inner
+        key = self._join_key_for(inner, join_predicates)
+        if key is None:
+            return inner
+        bound = self.query.table_for_alias(inner.table_alias or "")
+        index = bound.schema.index_on(key.column)
+        if index is None:
+            return inner
+        lookup = index_scan(
+            bound.table, inner.table_alias or "", index.name, inner.predicates, fetch=True
+        )
+        lookup.estimated_cardinality = inner.estimated_cardinality
+        lookup.estimated_cost = inner.estimated_cost
+        lookup.properties["nljoin_lookup"] = True
+        lookup.properties["sorted_on"] = key
+        return lookup
+
+    def _nljoin_lookup_cost(
+        self, inner: PlanNode, join_predicates: Tuple[Comparison, ...]
+    ) -> float:
+        """Cost of evaluating the inner input once per outer row."""
+        if inner.is_scan and inner.properties.get("nljoin_lookup") and inner.table_alias:
+            bound = self.query.table_for_alias(inner.table_alias)
+            key = self._join_key_for(inner, join_predicates)
+            index = bound.schema.index_on(key.column) if key else None
+            if index is not None:
+                table_rows = self.estimator.table_cardinality(inner.table_alias)
+                key_stats = self.estimator.column_statistics(key)
+                rows_per_lookup = table_rows / max(1, key_stats.n_distinct or 1)
+                return self.cost_model.index_lookup_cost(bound.table, index, rows_per_lookup)
+        # Fallback: the whole inner subtree is re-evaluated for every outer row.
+        return max(inner.estimated_cost, 1e-3)
+
+    @staticmethod
+    def _join_key_for(
+        node: PlanNode, join_predicates: Tuple[Comparison, ...]
+    ) -> Optional[ColumnRef]:
+        """The column of ``node``'s side participating in the join predicates."""
+        aliases = set(node.aliases())
+        for predicate in join_predicates:
+            for side in (predicate.left, predicate.right):
+                if isinstance(side, ColumnRef) and side.qualifier in aliases:
+                    return side
+        return None
+
+    # ------------------------------------------------------------------
+    # plan tops
+    # ------------------------------------------------------------------
+
+    def finish_plan(self, node: PlanNode) -> PlanNode:
+        """Add GRPBY / SORT operators required by the query on top of ``node``."""
+        result = node
+        if self.query.has_aggregation:
+            keys = tuple(self.query.group_by)
+            aggregates = tuple(
+                (item.aggregate, item.column)
+                for item in self.query.select_items
+                if item.is_aggregate
+            )
+            groups = max(1.0, result.estimated_cardinality ** 0.5)
+            grpby = group_by(result, keys, aggregates)
+            grpby.estimated_cardinality = groups
+            grpby.estimated_cost = result.estimated_cost + self.cost_model.group_by_cost(
+                result.estimated_cardinality, groups
+            )
+            result = grpby
+        if self.query.order_by:
+            key = self.query.order_by[0]
+            if result.properties.get("sorted_on") != key:
+                sort_node = sort(result, key)
+                sort_node.estimated_cardinality = result.estimated_cardinality
+                sort_node.estimated_cost = result.estimated_cost + self.cost_model.sort_cost(
+                    result.estimated_cardinality
+                )
+                sort_node.properties["sorted_on"] = key
+                result = sort_node
+        return result

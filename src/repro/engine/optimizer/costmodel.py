@@ -1,0 +1,160 @@
+"""Optimizer cost model.
+
+Costs are expressed in *timerons*, DB2's synthetic cost unit.  The constants
+live in :class:`repro.engine.config.DbConfig` (the ``opt_*`` family) and are
+deliberately calibrated differently from the runtime simulator's ``run_*``
+family -- a cost model is a model, and its systematic biases (an optimistic
+sequential transfer rate, ignorance of buffer-pool flooding, no knowledge of
+merge-join early termination) are what create the problem patterns GALO learns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.engine.catalog import Catalog
+from repro.engine.config import DbConfig
+from repro.engine.schema import Index
+
+
+class CostModel:
+    """Per-operator cost formulas used by the cost-based optimizer."""
+
+    def __init__(self, catalog: Catalog, config: Optional[DbConfig] = None):
+        self.catalog = catalog
+        self.config = config or catalog.config
+
+    # -- scans -------------------------------------------------------------
+
+    def table_scan_cost(self, table: str, output_rows: float) -> float:
+        """Full sequential scan: every page read at the (believed) transfer rate."""
+        stats = self.catalog.statistics(table)
+        io_cost = stats.pages * self.config.opt_seq_page_cost * self.config.opt_transfer_rate
+        cpu_cost = stats.cardinality * self.config.opt_cpu_row_cost
+        return io_cost + cpu_cost
+
+    def index_scan_cost(
+        self,
+        table: str,
+        index: Index,
+        matching_rows: float,
+        fetch: bool = True,
+    ) -> float:
+        """Index scan plus (optionally) a FETCH of the qualifying data pages.
+
+        The optimizer trusts the index's recorded ``cluster_ratio``: a well
+        clustered index turns row fetches into near-sequential page reads, a
+        poorly clustered one into random I/O.  The recorded ratio can be stale
+        or optimistic, which is how the Figure 4 flooding pattern arises.
+        """
+        stats = self.catalog.statistics(table)
+        key_stats = stats.column(index.column)
+        leaf_pages = max(1.0, stats.pages * 0.1)
+        index_io = math.log2(max(2.0, key_stats.n_distinct or 2)) * 0.1 + (
+            leaf_pages * (matching_rows / max(1.0, stats.cardinality))
+        )
+        cost = index_io * self.config.opt_rand_page_cost
+        if fetch:
+            rows_per_page = max(1.0, stats.cardinality / max(1, stats.pages))
+            pages_fetched = min(float(stats.pages), matching_rows / rows_per_page
+                                + matching_rows * (1.0 - index.cluster_ratio))
+            random_fraction = 1.0 - index.cluster_ratio
+            sequential_fraction = index.cluster_ratio
+            cost += pages_fetched * (
+                random_fraction * self.config.opt_rand_page_cost
+                + sequential_fraction * self.config.opt_seq_page_cost
+            )
+        cost += matching_rows * self.config.opt_cpu_row_cost
+        return cost
+
+    # -- joins ----------------------------------------------------------------
+
+    def hash_join_cost(
+        self,
+        outer_rows: float,
+        inner_rows: float,
+        output_rows: float,
+        bloom_filter: bool = False,
+    ) -> float:
+        """Hash join: build on the inner input, probe with the outer input."""
+        build = inner_rows * self.config.opt_hash_build_row_cost
+        probe = outer_rows * self.config.opt_hash_probe_row_cost
+        spill = 0.0
+        inner_pages = inner_rows / max(1, self.config.page_size_rows)
+        if inner_pages > self.config.sort_heap_pages:
+            spill_pages = inner_pages - self.config.sort_heap_pages
+            spill = spill_pages * self.config.opt_seq_page_cost * 2.0
+        bloom_saving = 0.0
+        if bloom_filter:
+            # The bloom filter skips hash probes for outer rows that cannot match.
+            expected_match_fraction = min(1.0, output_rows / max(outer_rows, 1e-9))
+            bloom_saving = (
+                outer_rows
+                * (1.0 - expected_match_fraction)
+                * self.config.opt_hash_probe_row_cost
+                * 0.8
+            )
+        cpu = output_rows * self.config.opt_cpu_row_cost
+        return max(0.0, build + probe + spill + cpu - bloom_saving)
+
+    def merge_join_cost(
+        self,
+        outer_rows: float,
+        inner_rows: float,
+        output_rows: float,
+        outer_sorted: bool,
+        inner_sorted: bool,
+    ) -> float:
+        """Sort-merge join: sort whichever inputs are not already ordered."""
+        cost = 0.0
+        if not outer_sorted:
+            cost += self.sort_cost(outer_rows)
+        if not inner_sorted:
+            cost += self.sort_cost(inner_rows)
+        cost += (outer_rows + inner_rows) * self.config.opt_cpu_row_cost
+        cost += output_rows * self.config.opt_cpu_row_cost
+        return cost
+
+    def nested_loop_join_cost(
+        self,
+        outer_rows: float,
+        inner_lookup_cost: float,
+        output_rows: float,
+    ) -> float:
+        """Nested-loop join: re-evaluate the inner access once per outer row."""
+        cost = outer_rows * inner_lookup_cost
+        cost += output_rows * self.config.opt_cpu_row_cost
+        return cost
+
+    def index_lookup_cost(self, table: str, index: Index, rows_per_lookup: float) -> float:
+        """Cost of one index probe on the inner of a nested-loop join."""
+        stats = self.catalog.statistics(table)
+        key_stats = stats.column(index.column)
+        traverse = math.log2(max(2.0, key_stats.n_distinct or 2)) * 0.02
+        random_fraction = 1.0 - index.cluster_ratio
+        fetch = rows_per_lookup * (
+            random_fraction * self.config.opt_rand_page_cost * 0.5
+            + index.cluster_ratio * self.config.opt_seq_page_cost * 0.1
+            + self.config.opt_cpu_row_cost
+        )
+        return traverse + fetch
+
+    # -- other operators -----------------------------------------------------
+
+    def sort_cost(self, rows: float) -> float:
+        """External-sort cost with spill past the sort heap."""
+        if rows <= 1:
+            return self.config.opt_sort_row_cost
+        cpu = rows * math.log2(max(2.0, rows)) * self.config.opt_sort_row_cost * 0.1
+        pages = rows / max(1, self.config.page_size_rows)
+        spill = 0.0
+        if pages > self.config.sort_heap_pages:
+            spill = (pages - self.config.sort_heap_pages) * self.config.opt_seq_page_cost * 2.0
+        return cpu + spill
+
+    def filter_cost(self, rows: float) -> float:
+        return rows * self.config.opt_cpu_row_cost * 0.5
+
+    def group_by_cost(self, rows: float, groups: float) -> float:
+        return rows * self.config.opt_cpu_row_cost + groups * self.config.opt_cpu_row_cost

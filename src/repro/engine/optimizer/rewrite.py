@@ -1,0 +1,130 @@
+"""Query-rewrite phase (the first optimizer tier).
+
+DB2's query rewrite engine applies semantics-preserving transformations before
+cost-based planning.  The subset implemented here covers the rewrites relevant
+to the conjunctive star-join queries in the workloads:
+
+* duplicate-predicate elimination;
+* transitive closure of equality: from ``A.x = B.y`` and ``A.x = c`` derive
+  ``B.y = c`` so the constant can be applied on both sides of the join;
+* join-predicate transitivity: from ``A.x = B.y`` and ``B.y = C.z`` derive
+  ``A.x = C.z``, giving the join enumerator more connection choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Set, Tuple
+
+from repro.engine.expressions import ColumnRef, Comparison, Literal, Predicate
+from repro.engine.sql.binder import BoundQuery
+
+
+def rewrite_query(query: BoundQuery) -> BoundQuery:
+    """Return a rewritten copy of ``query`` (the original is not modified)."""
+    rewritten = BoundQuery(
+        sql=query.sql,
+        tables=list(query.tables),
+        select_items=list(query.select_items),
+        select_star=query.select_star,
+        local_predicates={alias: list(preds) for alias, preds in query.local_predicates.items()},
+        join_predicates=list(query.join_predicates),
+        group_by=list(query.group_by),
+        order_by=list(query.order_by),
+    )
+    _deduplicate(rewritten)
+    _propagate_constants(rewritten)
+    _join_transitivity(rewritten)
+    _deduplicate(rewritten)
+    return rewritten
+
+
+def _deduplicate(query: BoundQuery) -> None:
+    seen_joins: Set[Tuple] = set()
+    unique_joins: List[Comparison] = []
+    for predicate in query.join_predicates:
+        key = _join_key(predicate)
+        if key in seen_joins:
+            continue
+        seen_joins.add(key)
+        unique_joins.append(predicate)
+    query.join_predicates = unique_joins
+
+    for alias, predicates in query.local_predicates.items():
+        seen: Set[str] = set()
+        unique: List[Predicate] = []
+        for predicate in predicates:
+            text = str(predicate)
+            if text in seen:
+                continue
+            seen.add(text)
+            unique.append(predicate)
+        query.local_predicates[alias] = unique
+
+
+def _join_key(predicate: Comparison) -> Tuple:
+    left = predicate.left
+    right = predicate.right
+    left_key = (left.qualifier, left.column) if isinstance(left, ColumnRef) else repr(left)
+    right_key = (right.qualifier, right.column) if isinstance(right, ColumnRef) else repr(right)
+    ordered = tuple(sorted([left_key, right_key], key=repr))
+    return (predicate.op,) + ordered
+
+
+def _equality_classes(query: BoundQuery) -> List[Set[ColumnRef]]:
+    """Group columns connected by equality join predicates."""
+    classes: List[Set[ColumnRef]] = []
+    for predicate in query.join_predicates:
+        if predicate.op != "=":
+            continue
+        if not isinstance(predicate.left, ColumnRef) or not isinstance(predicate.right, ColumnRef):
+            continue
+        merged = {predicate.left, predicate.right}
+        remaining: List[Set[ColumnRef]] = []
+        for existing in classes:
+            if existing & merged:
+                merged |= existing
+            else:
+                remaining.append(existing)
+        remaining.append(merged)
+        classes = remaining
+    return classes
+
+
+def _propagate_constants(query: BoundQuery) -> None:
+    """Push equality-with-constant predicates across join equivalence classes."""
+    classes = _equality_classes(query)
+    for equivalence_class in classes:
+        constants: List[Literal] = []
+        for alias, predicates in query.local_predicates.items():
+            for predicate in predicates:
+                if not isinstance(predicate, Comparison) or predicate.op != "=":
+                    continue
+                if isinstance(predicate.left, ColumnRef) and isinstance(predicate.right, Literal):
+                    if predicate.left in equivalence_class:
+                        constants.append(predicate.right)
+        if not constants:
+            continue
+        constant = constants[0]
+        for column in equivalence_class:
+            existing = query.local_predicates.get(column.qualifier, [])
+            predicate = Comparison(op="=", left=column, right=constant)
+            if str(predicate) not in {str(p) for p in existing}:
+                query.local_predicates.setdefault(column.qualifier, []).append(predicate)
+
+
+def _join_transitivity(query: BoundQuery) -> None:
+    """Add implied join predicates within each equality class."""
+    classes = _equality_classes(query)
+    existing = {_join_key(p) for p in query.join_predicates}
+    for equivalence_class in classes:
+        members = sorted(equivalence_class, key=lambda ref: ref.key)
+        for i, left in enumerate(members):
+            for right in members[i + 1:]:
+                if left.qualifier == right.qualifier:
+                    continue
+                candidate = Comparison(op="=", left=left, right=right)
+                key = _join_key(candidate)
+                if key not in existing:
+                    existing.add(key)
+                    query.join_predicates.append(candidate)

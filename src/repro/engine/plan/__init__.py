@@ -1,0 +1,6 @@
+"""Physical query plans (QGM graphs made of DB2-style LOLEPOPs)."""
+
+from repro.engine.plan.physical import PlanNode, PopType, Qgm
+from repro.engine.plan.explain import explain_text
+
+__all__ = ["PlanNode", "PopType", "Qgm", "explain_text"]

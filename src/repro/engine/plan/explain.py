@@ -1,0 +1,68 @@
+"""Pretty-printer for QGM plans, mirroring the figures in the paper.
+
+The rendering is the same "access plan" layout DB2's explain facility uses and
+the paper reproduces in Figures 1, 4, 7, 8 and 15: each LOLEPOP is shown with
+its estimated cardinality on top, its operator name, and its operator id in
+parentheses; base tables show the table cardinality and the table instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.catalog import Catalog
+from repro.engine.plan.physical import PlanNode, Qgm
+
+
+def _format_cardinality(value: float) -> str:
+    """Format cardinalities the way DB2 explain does (mixed decimal / e-notation)."""
+    if value == 0:
+        return "0"
+    if value >= 1e6 or value < 1e-2:
+        return f"{value:.6g}"
+    if abs(value - round(value)) < 1e-9:
+        return str(int(round(value)))
+    return f"{value:.6g}"
+
+
+def _node_lines(node: PlanNode, catalog: Optional[Catalog]) -> List[str]:
+    lines = [
+        _format_cardinality(node.estimated_cardinality),
+        node.display_type,
+        f"( {node.operator_id} )",
+    ]
+    if node.is_scan and node.table:
+        table_card = ""
+        if catalog is not None and catalog.has_table(node.table):
+            table_card = _format_cardinality(catalog.statistics(node.table).cardinality)
+        lines.append("  " + (table_card or ""))
+        lines.append("  " + node.table)
+        lines.append("  " + (node.table_alias or ""))
+    return lines
+
+
+def _render(node: PlanNode, catalog: Optional[Catalog], depth: int, out: List[str]) -> None:
+    indent = "    " * depth
+    for line in _node_lines(node, catalog):
+        if line.strip():
+            out.append(indent + line)
+    for child in node.inputs:
+        _render(child, catalog, depth + 1, out)
+
+
+def explain_text(qgm: Qgm, catalog: Optional[Catalog] = None) -> str:
+    """Render a QGM as indented text (one operator block per node)."""
+    out: List[str] = []
+    if qgm.query_name:
+        out.append(f"-- access plan for {qgm.query_name}")
+    if qgm.sql:
+        out.append(f"-- {qgm.sql}")
+    out.append(f"-- total cost: {qgm.total_cost:.6g} timerons")
+    _render(qgm.root, catalog, 0, out)
+    return "\n".join(out)
+
+
+def explain_summary(qgm: Qgm) -> str:
+    """One-line summary: operator shape plus the join order."""
+    join_order = " -> ".join(qgm.aliases())
+    return f"{qgm.shape_signature()} [{join_order}]"

@@ -1,0 +1,7 @@
+"""SQL front-end: lexer, parser, and binder for the supported SQL subset."""
+
+from repro.engine.sql.ast import SelectStatement, TableRef
+from repro.engine.sql.binder import BoundQuery, bind
+from repro.engine.sql.parser import parse_select
+
+__all__ = ["SelectStatement", "TableRef", "BoundQuery", "bind", "parse_select"]

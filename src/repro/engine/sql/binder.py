@@ -1,0 +1,251 @@
+"""Name resolution: turn a parsed SELECT into a bound query block.
+
+The bound form is what the optimizer consumes: a flat list of table references
+plus per-table local predicates and the equi-join predicates connecting them
+(the classic "query block" of a star-join query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import (
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    Predicate,
+)
+from repro.engine.schema import TableSchema
+from repro.engine.sql.ast import (
+    RawColumn,
+    RawCondition,
+    RawLiteral,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.engine.types import DataType, coerce_value
+from repro.errors import BindError
+
+
+@dataclass(frozen=True)
+class BoundTable:
+    """One bound FROM entry: the table's schema plus its alias in this query."""
+
+    table: str
+    alias: str
+    schema: TableSchema
+
+
+@dataclass(frozen=True)
+class BoundSelectItem:
+    """A bound SELECT-list item."""
+
+    column: Optional[ColumnRef]
+    aggregate: Optional[str] = None
+    alias: Optional[str] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            target = self.column.column if self.column else "*"
+            return f"{self.aggregate}({target})"
+        assert self.column is not None
+        return self.column.column
+
+
+@dataclass
+class BoundQuery:
+    """A bound query block: tables, predicates, and output description."""
+
+    sql: str
+    tables: List[BoundTable] = field(default_factory=list)
+    select_items: List[BoundSelectItem] = field(default_factory=list)
+    select_star: bool = False
+    local_predicates: Dict[str, List[Predicate]] = field(default_factory=dict)
+    join_predicates: List[Comparison] = field(default_factory=list)
+    group_by: List[ColumnRef] = field(default_factory=list)
+    order_by: List[ColumnRef] = field(default_factory=list)
+
+    @property
+    def aliases(self) -> List[str]:
+        return [table.alias for table in self.tables]
+
+    @property
+    def join_count(self) -> int:
+        """Number of joins = number of tables minus one (for connected queries)."""
+        return max(0, len(self.tables) - 1)
+
+    def table_for_alias(self, alias: str) -> BoundTable:
+        for table in self.tables:
+            if table.alias == alias:
+                return table
+        raise BindError(f"no table bound to alias {alias!r}")
+
+    def predicates_for(self, alias: str) -> List[Predicate]:
+        return list(self.local_predicates.get(alias, []))
+
+    def joins_between(self, left_aliases: frozenset, right_aliases: frozenset) -> List[Comparison]:
+        """Join predicates connecting two disjoint alias sets."""
+        connecting = []
+        for predicate in self.join_predicates:
+            quals = predicate.referenced_qualifiers()
+            if (quals & left_aliases) and (quals & right_aliases):
+                connecting.append(predicate)
+        return connecting
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.group_by) or any(
+            item.is_aggregate for item in self.select_items
+        )
+
+
+class _Binder:
+    def __init__(self, statement: SelectStatement, catalog: Catalog, sql: str):
+        self.statement = statement
+        self.catalog = catalog
+        self.sql = sql
+        self.bound_tables: List[BoundTable] = []
+
+    def bind(self) -> BoundQuery:
+        self._bind_tables()
+        query = BoundQuery(sql=self.sql, tables=self.bound_tables)
+        query.select_star = self.statement.select_star
+        for item in self.statement.select_items:
+            query.select_items.append(self._bind_select_item(item))
+        for condition in self.statement.where:
+            self._bind_condition(condition, query)
+        query.group_by = [self._resolve_column(col) for col in self.statement.group_by]
+        query.order_by = [self._resolve_column(col) for col in self.statement.order_by]
+        return query
+
+    def _bind_tables(self) -> None:
+        seen_aliases = set()
+        for ref in self.statement.from_tables:
+            if not self.catalog.has_table(ref.table):
+                raise BindError(f"unknown table {ref.table!r}")
+            schema = self.catalog.table_schema(ref.table)
+            alias = (ref.alias or ref.table).upper()
+            if alias in seen_aliases:
+                raise BindError(f"duplicate table alias {alias!r}")
+            seen_aliases.add(alias)
+            self.bound_tables.append(
+                BoundTable(table=schema.name, alias=alias, schema=schema)
+            )
+
+    def _bind_select_item(self, item: SelectItem) -> BoundSelectItem:
+        column = self._resolve_column(item.column) if item.column else None
+        return BoundSelectItem(column=column, aggregate=item.aggregate, alias=item.alias)
+
+    def _resolve_column(self, raw: RawColumn) -> ColumnRef:
+        if raw.qualifier:
+            qualifier = raw.qualifier.upper()
+            for table in self.bound_tables:
+                if table.alias == qualifier:
+                    if not table.schema.has_column(raw.name.lower()) and not table.schema.has_column(raw.name):
+                        raise BindError(
+                            f"table {table.table!r} has no column {raw.name!r}"
+                        )
+                    name = raw.name.lower() if table.schema.has_column(raw.name.lower()) else raw.name
+                    return ColumnRef(qualifier=qualifier, column=name)
+            raise BindError(f"unknown table alias {raw.qualifier!r}")
+        candidates = []
+        for table in self.bound_tables:
+            for candidate in (raw.name.lower(), raw.name):
+                if table.schema.has_column(candidate):
+                    candidates.append(ColumnRef(qualifier=table.alias, column=candidate))
+                    break
+        if not candidates:
+            raise BindError(f"unknown column {raw.name!r}")
+        if len(candidates) > 1:
+            raise BindError(f"ambiguous column {raw.name!r}")
+        return candidates[0]
+
+    def _column_type(self, ref: ColumnRef) -> DataType:
+        table = next(t for t in self.bound_tables if t.alias == ref.qualifier)
+        return table.schema.column(ref.column).data_type
+
+    def _coerce_literal(self, literal: RawLiteral, target: ColumnRef) -> Literal:
+        data_type = self._column_type(target)
+        return Literal(coerce_value(literal.value, data_type))
+
+    def _bind_condition(self, condition: RawCondition, query: BoundQuery) -> None:
+        left = self._resolve_column(condition.left)
+        if condition.kind == "comparison":
+            if isinstance(condition.right, RawColumn):
+                right = self._resolve_column(condition.right)
+                predicate = Comparison(op=condition.op or "=", left=left, right=right)
+                if predicate.is_join_predicate:
+                    query.join_predicates.append(predicate)
+                else:
+                    self._add_local(query, left.qualifier, predicate)
+                return
+            literal = self._coerce_literal(condition.right, left)
+            predicate = Comparison(op=condition.op or "=", left=left, right=literal)
+            self._add_local(query, left.qualifier, predicate)
+            return
+        if condition.kind == "between":
+            low, high = condition.operands
+            predicate = Between(
+                column=left,
+                low=self._coerce_literal(low, left),
+                high=self._coerce_literal(high, left),
+            )
+            self._add_local(query, left.qualifier, predicate)
+            return
+        if condition.kind == "in":
+            values = tuple(
+                self._coerce_literal(value, left).value for value in condition.operands
+            )
+            self._add_local(query, left.qualifier, InList(column=left, values=values))
+            return
+        if condition.kind in ("isnull", "isnotnull"):
+            self._add_local(
+                query,
+                left.qualifier,
+                IsNull(column=left, negated=condition.kind == "isnotnull"),
+            )
+            return
+        if condition.kind == "like":
+            self._bind_like(condition, left, query)
+            return
+        raise BindError(f"unsupported condition kind {condition.kind!r}")
+
+    def _bind_like(self, condition: RawCondition, left: ColumnRef, query: BoundQuery) -> None:
+        pattern = condition.right.value
+        if not isinstance(pattern, str):
+            raise BindError("LIKE pattern must be a string literal")
+        if pattern.endswith("%") and "%" not in pattern[:-1] and "_" not in pattern:
+            prefix = pattern[:-1]
+            low = Comparison(op=">=", left=left, right=Literal(prefix))
+            high = Comparison(op="<", left=left, right=Literal(prefix + "￿"))
+            self._add_local(query, left.qualifier, low)
+            self._add_local(query, left.qualifier, high)
+            return
+        if "%" not in pattern and "_" not in pattern:
+            self._add_local(
+                query, left.qualifier, Comparison(op="=", left=left, right=Literal(pattern))
+            )
+            return
+        raise BindError(f"unsupported LIKE pattern {pattern!r} (only 'prefix%' is supported)")
+
+    @staticmethod
+    def _add_local(query: BoundQuery, alias: str, predicate: Predicate) -> None:
+        query.local_predicates.setdefault(alias, []).append(predicate)
+
+
+def bind(statement: SelectStatement, catalog: Catalog, sql: str = "") -> BoundQuery:
+    """Bind a parsed statement against ``catalog``."""
+    return _Binder(statement, catalog, sql).bind()

@@ -1,0 +1,64 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+_TOKEN_SPEC = [
+    ("STRING", r"'(?:[^']|'')*'"),
+    ("NUMBER", r"\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_$#]*"),
+    ("OP", r"<>|<=|>=|=|<|>"),
+    ("COMMA", r","),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("STAR", r"\*"),
+    ("WS", r"\s+"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "ORDER", "BY", "AS",
+    "BETWEEN", "IN", "IS", "NOT", "NULL", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "DISTINCT", "ASC", "DESC", "LIKE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind, its text, and its position in the input."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; keywords are returned with kind ``KEYWORD``."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _MASTER_RE.match(sql, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and text.upper() in KEYWORDS:
+                kind = "KEYWORD"
+            tokens.append(Token(kind=kind, text=text, position=position))
+        position = match.end()
+    tokens.append(Token(kind="EOF", text="", position=len(sql)))
+    return tokens

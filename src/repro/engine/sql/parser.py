@@ -1,0 +1,237 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal)::
+
+    select    := SELECT select_list FROM table_list [WHERE conjuncts]
+                 [GROUP BY columns] [ORDER BY columns]
+    select_list := '*' | item (',' item)*
+    item      := aggregate '(' ('*' | column) ')' [AS ident] | column [AS ident]
+    table_list := table [alias] (',' table [alias])*
+    conjuncts := condition (AND condition)*
+    condition := column op (column | literal)
+               | column BETWEEN literal AND literal
+               | column IN '(' literal (',' literal)* ')'
+               | column IS [NOT] NULL
+               | column LIKE string
+
+OR is intentionally unsupported: the workload generators only emit conjunctive
+predicates, matching the query shapes shown in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.engine.sql.ast import (
+    RawColumn,
+    RawCondition,
+    RawLiteral,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.engine.sql.lexer import Token, tokenize
+from repro.errors import SqlSyntaxError
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.upper != text):
+            expectation = text or kind
+            raise SqlSyntaxError(
+                f"expected {expectation} at offset {token.position}, "
+                f"found {token.text!r}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.upper == word:
+            self._advance()
+            return True
+        return False
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.upper == word
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        statement = SelectStatement()
+        self._expect("KEYWORD", "SELECT")
+        self._parse_select_list(statement)
+        self._expect("KEYWORD", "FROM")
+        self._parse_from(statement)
+        if self._accept_keyword("WHERE"):
+            self._parse_where(statement)
+        if self._accept_keyword("GROUP"):
+            self._expect("KEYWORD", "BY")
+            statement.group_by = self._parse_column_list()
+        if self._accept_keyword("ORDER"):
+            self._expect("KEYWORD", "BY")
+            statement.order_by = self._parse_column_list(allow_direction=True)
+        if self._peek().kind != "EOF":
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input {token.text!r} at offset {token.position}"
+            )
+        return statement
+
+    def _parse_select_list(self, statement: SelectStatement) -> None:
+        if self._peek().kind == "STAR":
+            self._advance()
+            statement.select_star = True
+            return
+        statement.select_items.append(self._parse_select_item())
+        while self._peek().kind == "COMMA":
+            self._advance()
+            statement.select_items.append(self._parse_select_item())
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.upper in _AGGREGATES:
+            aggregate = self._advance().upper
+            self._expect("LPAREN")
+            column: Optional[RawColumn]
+            if self._peek().kind == "STAR":
+                self._advance()
+                column = None
+            else:
+                self._accept_keyword("DISTINCT")
+                column = self._parse_column()
+            self._expect("RPAREN")
+            alias = self._parse_optional_alias()
+            return SelectItem(column=column, aggregate=aggregate, alias=alias)
+        column = self._parse_column()
+        alias = self._parse_optional_alias()
+        return SelectItem(column=column, alias=alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect("IDENT").text
+        if self._peek().kind == "IDENT":
+            return self._advance().text
+        return None
+
+    def _parse_column(self) -> RawColumn:
+        first = self._expect("IDENT").text
+        if self._peek().kind == "DOT":
+            self._advance()
+            second = self._expect("IDENT").text
+            return RawColumn(name=second, qualifier=first)
+        return RawColumn(name=first)
+
+    def _parse_from(self, statement: SelectStatement) -> None:
+        statement.from_tables.append(self._parse_table_ref())
+        while self._peek().kind == "COMMA":
+            self._advance()
+            statement.from_tables.append(self._parse_table_ref())
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self._expect("IDENT").text
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect("IDENT").text
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().text
+        return TableRef(table=table, alias=alias)
+
+    def _parse_where(self, statement: SelectStatement) -> None:
+        statement.where.append(self._parse_condition())
+        while self._accept_keyword("AND"):
+            statement.where.append(self._parse_condition())
+        if self._at_keyword("OR"):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"OR is not supported (offset {token.position}); "
+                "rewrite the predicate as a conjunction"
+            )
+
+    def _parse_condition(self) -> RawCondition:
+        column = self._parse_column()
+        token = self._peek()
+        if token.kind == "OP":
+            op = self._advance().text
+            right = self._parse_operand()
+            return RawCondition(kind="comparison", left=column, op=op, right=right)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_literal()
+            self._expect("KEYWORD", "AND")
+            high = self._parse_literal()
+            return RawCondition(kind="between", left=column, operands=(low, high))
+        if self._accept_keyword("IN"):
+            self._expect("LPAREN")
+            values: List[RawLiteral] = [self._parse_literal()]
+            while self._peek().kind == "COMMA":
+                self._advance()
+                values.append(self._parse_literal())
+            self._expect("RPAREN")
+            return RawCondition(kind="in", left=column, operands=tuple(values))
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT")
+            self._expect("KEYWORD", "NULL")
+            kind = "isnotnull" if negated else "isnull"
+            return RawCondition(kind=kind, left=column)
+        if self._accept_keyword("LIKE"):
+            literal = self._parse_literal()
+            return RawCondition(kind="like", left=column, right=literal)
+        raise SqlSyntaxError(
+            f"expected a condition operator at offset {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    def _parse_operand(self) -> Union[RawColumn, RawLiteral]:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._parse_column()
+        return self._parse_literal()
+
+    def _parse_literal(self) -> RawLiteral:
+        token = self._advance()
+        if token.kind == "NUMBER":
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return RawLiteral(value=float(text))
+            return RawLiteral(value=int(text))
+        if token.kind == "STRING":
+            return RawLiteral(value=token.text[1:-1].replace("''", "'"))
+        if token.kind == "KEYWORD" and token.upper == "NULL":
+            return RawLiteral(value=None)
+        raise SqlSyntaxError(
+            f"expected a literal at offset {token.position}, found {token.text!r}"
+        )
+
+    def _parse_column_list(self, allow_direction: bool = False) -> List[RawColumn]:
+        columns = [self._parse_column()]
+        if allow_direction and self._peek().kind == "KEYWORD" and self._peek().upper in ("ASC", "DESC"):
+            self._advance()
+        while self._peek().kind == "COMMA":
+            self._advance()
+            columns.append(self._parse_column())
+            if allow_direction and self._peek().kind == "KEYWORD" and self._peek().upper in ("ASC", "DESC"):
+                self._advance()
+        return columns
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse a SELECT statement; raises :class:`SqlSyntaxError` on failure."""
+    return _Parser(sql).parse()

@@ -1,0 +1,151 @@
+"""In-memory storage for table data.
+
+Rows are stored column-wise as plain Python lists (one list per column), which
+keeps scans and histogram construction fast while remaining easy to reason
+about.  Single-column hash indexes map a key value to the list of row positions
+holding it; a *cluster ratio* records how well the physical row order follows
+the index order, which the runtime simulator uses to model random-I/O flooding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.engine.config import DbConfig
+from repro.engine.schema import Index, TableSchema
+from repro.engine.types import coerce_value
+from repro.errors import CatalogError
+
+
+@dataclass
+class IndexData:
+    """Materialized hash index: key value -> sorted list of row ids."""
+
+    definition: Index
+    entries: Dict[Any, List[int]] = field(default_factory=dict)
+
+    def lookup(self, value: Any) -> List[int]:
+        return self.entries.get(value, [])
+
+    def lookup_range(self, low: Any, high: Any) -> List[int]:
+        """Return row ids whose key falls in ``[low, high]`` (inclusive)."""
+        row_ids: List[int] = []
+        for key, ids in self.entries.items():
+            if key is None:
+                continue
+            if (low is None or key >= low) and (high is None or key <= high):
+                row_ids.extend(ids)
+        row_ids.sort()
+        return row_ids
+
+    @property
+    def key_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def leaf_pages(self) -> int:
+        total = sum(len(ids) for ids in self.entries.values())
+        return max(1, total // 256)
+
+
+class TableData:
+    """Column-wise storage for one table plus its indexes."""
+
+    def __init__(self, schema: TableSchema, config: Optional[DbConfig] = None):
+        self.schema = schema
+        self.config = config or DbConfig()
+        self._columns: Dict[str, List[Any]] = {
+            column.name: [] for column in schema.columns
+        }
+        self._indexes: Dict[str, IndexData] = {}
+        self._row_count = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def insert_rows(self, rows: Iterable[Dict[str, Any]]) -> int:
+        """Append ``rows`` (dicts keyed by column name); returns rows added."""
+        added = 0
+        for row in rows:
+            for column in self.schema.columns:
+                value = coerce_value(row.get(column.name), column.data_type)
+                self._columns[column.name].append(value)
+            self._row_count += 1
+            added += 1
+        if added:
+            self._rebuild_indexes()
+        return added
+
+    def _rebuild_indexes(self) -> None:
+        for index_data in self._indexes.values():
+            self._fill_index(index_data)
+
+    def _fill_index(self, index_data: IndexData) -> None:
+        index_data.entries = {}
+        values = self._columns[index_data.definition.column]
+        for row_id, value in enumerate(values):
+            index_data.entries.setdefault(value, []).append(row_id)
+
+    def build_index(self, definition: Index) -> IndexData:
+        if definition.column not in self._columns:
+            raise CatalogError(
+                f"cannot index missing column {definition.column!r} "
+                f"on table {self.schema.name!r}"
+            )
+        index_data = IndexData(definition=definition)
+        self._fill_index(index_data)
+        self._indexes[definition.name] = index_data
+        return index_data
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        """Number of storage pages occupied by the table."""
+        rows_per_page = max(
+            1, (self.config.page_size_rows * 100) // max(1, self.schema.row_width)
+        )
+        return max(1, -(-self._row_count // rows_per_page))
+
+    def column_values(self, column_name: str) -> List[Any]:
+        if column_name not in self._columns:
+            raise CatalogError(
+                f"table {self.schema.name!r} has no column {column_name!r}"
+            )
+        return self._columns[column_name]
+
+    def row(self, row_id: int) -> Dict[str, Any]:
+        return {
+            name: values[row_id] for name, values in self._columns.items()
+        }
+
+    def rows(self, row_ids: Optional[Sequence[int]] = None) -> Iterator[Dict[str, Any]]:
+        """Yield rows as dicts, either all of them or the given ``row_ids``."""
+        if row_ids is None:
+            for row_id in range(self._row_count):
+                yield self.row(row_id)
+        else:
+            for row_id in row_ids:
+                yield self.row(row_id)
+
+    def index(self, index_name: str) -> IndexData:
+        try:
+            return self._indexes[index_name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"table {self.schema.name!r} has no index {index_name!r}"
+            ) from exc
+
+    def index_on(self, column_name: str) -> Optional[IndexData]:
+        for index_data in self._indexes.values():
+            if index_data.definition.column == column_name:
+                return index_data
+        return None
+
+    @property
+    def indexes(self) -> Dict[str, IndexData]:
+        return dict(self._indexes)

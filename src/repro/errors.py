@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the GALO reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class CatalogError(EngineError):
+    """A table, column, or index referenced does not exist (or already exists)."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be parsed."""
+
+
+class BindError(EngineError):
+    """The SQL parsed but references objects not present in the catalog."""
+
+
+class PlanError(EngineError):
+    """An invalid physical plan was constructed or executed."""
+
+
+class GuidelineError(EngineError):
+    """An OPTGUIDELINES document is malformed."""
+
+
+class RdfError(ReproError):
+    """Base class for RDF / SPARQL errors."""
+
+
+class SparqlSyntaxError(RdfError):
+    """The SPARQL text could not be parsed."""
+
+
+class SparqlEvaluationError(RdfError):
+    """A SPARQL query failed during evaluation."""
+
+
+class GaloError(ReproError):
+    """Base class for errors raised by the GALO core."""
+
+
+class LearningError(GaloError):
+    """The offline learning engine could not process a workload query."""
+
+
+class MatchingError(GaloError):
+    """The online matching engine failed while re-optimizing a query."""

@@ -1,0 +1,45 @@
+"""Experiment harness reproducing the paper's evaluation (Section 4).
+
+One module per experiment:
+
+* Exp-1 / Figure 9  -- learning scalability and effectiveness (:mod:`exp1_learning`);
+* Exp-2 / Figure 10 -- matching performance improvement and cross-workload
+  template reuse (:mod:`exp2_improvement`);
+* Exp-3 / Figure 11 -- matching scalability in the number of joined tables
+  (:mod:`exp3_matching_scalability`);
+* Exp-4 / Figure 12 -- routinization: matching time vs. workload and knowledge
+  base size (:mod:`exp4_routinization`);
+* Exp-5 / Figure 13 -- cost of learning, GALO vs. manual experts (:mod:`exp5_cost`);
+* Exp-6 / Figure 14 -- quality of learned problem patterns, GALO vs. experts
+  (:mod:`exp6_quality`).
+
+Every experiment takes an :class:`ExperimentSettings` (scale, query counts,
+learning knobs) so the full suite runs in minutes on a laptop by default and
+can be scaled up for closer fidelity.
+"""
+
+from repro.experiments.harness import ExperimentSettings, WorkloadBundle, build_bundle
+from repro.experiments.exp1_learning import Exp1Result, run_exp1
+from repro.experiments.exp2_improvement import Exp2Result, run_exp2
+from repro.experiments.exp3_matching_scalability import Exp3Result, run_exp3
+from repro.experiments.exp4_routinization import Exp4Result, run_exp4
+from repro.experiments.exp5_cost import Exp5Result, run_exp5
+from repro.experiments.exp6_quality import Exp6Result, run_exp6
+
+__all__ = [
+    "ExperimentSettings",
+    "WorkloadBundle",
+    "build_bundle",
+    "run_exp1",
+    "run_exp2",
+    "run_exp3",
+    "run_exp4",
+    "run_exp5",
+    "run_exp6",
+    "Exp1Result",
+    "Exp2Result",
+    "Exp3Result",
+    "Exp4Result",
+    "Exp5Result",
+    "Exp6Result",
+]

@@ -1,0 +1,125 @@
+"""Exp-1 / Figure 9: learning scalability and effectiveness.
+
+The paper reports, for the offline learning engine:
+
+* the average time to analyze each *query* grows roughly exponentially with
+  the join-number threshold (every combination of joins is considered), while
+  the average time per *sub-query* grows linearly;
+* applied to TPC-DS the engine learns 98 problem-pattern templates with an
+  average rewrite improvement of 37 %; on the client workload 178 templates at
+  35 %.
+
+``run_exp1`` reproduces both: a join-threshold sweep over a sample of queries
+(Figure 9's two series), plus a learning run at the configured threshold that
+reports the number of templates and their average improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.learning.engine import LearningConfig
+from repro.experiments.harness import (
+    ExperimentSettings,
+    WorkloadBundle,
+    build_bundle,
+    format_table,
+    learn_bundle,
+)
+
+
+@dataclass
+class ThresholdPoint:
+    """One point of Figure 9: timings at a given join-number threshold."""
+
+    join_threshold: int
+    avg_seconds_per_query: float
+    avg_seconds_per_subquery: float
+    subqueries_analyzed: int
+    templates_learned: int
+
+
+@dataclass
+class Exp1Result:
+    """Outcome of Exp-1 for one workload."""
+
+    workload: str
+    sweep: List[ThresholdPoint] = field(default_factory=list)
+    templates_learned: int = 0
+    average_improvement: float = 0.0
+    avg_seconds_per_query: float = 0.0
+    avg_seconds_per_subquery: float = 0.0
+
+    def figure9_rows(self) -> List[List[object]]:
+        return [
+            [
+                point.join_threshold,
+                point.avg_seconds_per_query,
+                point.avg_seconds_per_subquery,
+                point.subqueries_analyzed,
+                point.templates_learned,
+            ]
+            for point in self.sweep
+        ]
+
+    def report(self) -> str:
+        lines = [
+            f"Exp-1 (learning scalability & effectiveness) -- workload {self.workload}",
+            format_table(
+                ["join threshold", "s / query", "s / sub-query", "sub-queries", "templates"],
+                self.figure9_rows(),
+            ),
+            f"templates learned at configured threshold: {self.templates_learned}",
+            f"average rewrite improvement: {self.average_improvement * 100:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+def run_exp1(
+    workload_name: str = "tpcds",
+    settings: Optional[ExperimentSettings] = None,
+    sweep_thresholds: Optional[List[int]] = None,
+    sweep_query_count: int = 6,
+) -> Exp1Result:
+    """Run Exp-1: a Figure 9 threshold sweep plus a full learning pass."""
+    settings = settings or ExperimentSettings()
+    sweep_thresholds = sweep_thresholds or [1, 2, 3, settings.max_joins][: settings.max_joins]
+    sweep_thresholds = sorted(set(sweep_thresholds))
+
+    result = Exp1Result(workload=workload_name)
+
+    # --- Figure 9 sweep: same queries analyzed under increasing thresholds ---
+    base_bundle = build_bundle(workload_name, settings)
+    sweep_queries = base_bundle.workload.queries[:sweep_query_count]
+    for threshold in sweep_thresholds:
+        config = settings.learning_config()
+        config.max_joins = threshold
+        galo = Galo(
+            base_bundle.workload.database,
+            knowledge_base=KnowledgeBase(),
+            learning_config=config,
+            matching_config=settings.matching_config(),
+        )
+        report = galo.learn(sweep_queries, workload_name=f"{workload_name}-sweep-{threshold}")
+        analyzed = sum(record.analyzed_subquery_count for record in report.records)
+        result.sweep.append(
+            ThresholdPoint(
+                join_threshold=threshold,
+                avg_seconds_per_query=report.average_seconds_per_query,
+                avg_seconds_per_subquery=report.average_seconds_per_subquery,
+                subqueries_analyzed=analyzed,
+                templates_learned=report.template_count,
+            )
+        )
+
+    # --- Effectiveness: learning pass at the configured threshold ---
+    bundle = build_bundle(workload_name, settings)
+    report = learn_bundle(bundle, settings.learning_query_count)
+    result.templates_learned = report.template_count
+    result.average_improvement = report.average_improvement
+    result.avg_seconds_per_query = report.average_seconds_per_query
+    result.avg_seconds_per_subquery = report.average_seconds_per_subquery
+    return result

@@ -1,0 +1,89 @@
+"""Exp-5 / Figure 13: cost of learning -- manual experts vs GALO.
+
+The paper measures, over a sample of four problematic queries, the time it
+takes IBM experts to determine the problem manually versus GALO's automatic
+(offline) learning; manual determination averages more than twice the
+automatic cost.  The expert baseline here is the scripted model described in
+:mod:`repro.experiments.expert`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.experiments.expert import ExpertFinding, ExpertModel, find_sample_patterns
+from repro.experiments.harness import (
+    ExperimentSettings,
+    build_bundle,
+    format_table,
+)
+
+
+@dataclass
+class CostRow:
+    """One pattern of Figure 13."""
+
+    pattern: str
+    galo_seconds: float
+    expert_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.galo_seconds <= 0:
+            return 0.0
+        return self.expert_seconds / self.galo_seconds
+
+
+@dataclass
+class Exp5Result:
+    """Outcome of Exp-5."""
+
+    workload: str
+    rows: List[CostRow] = field(default_factory=list)
+
+    @property
+    def average_ratio(self) -> float:
+        ratios = [row.ratio for row in self.rows if row.ratio > 0]
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+    def report(self) -> str:
+        table = format_table(
+            ["pattern", "GALO s", "expert s", "expert / GALO"],
+            [[row.pattern, row.galo_seconds, row.expert_seconds, row.ratio] for row in self.rows],
+        )
+        return (
+            f"Exp-5 (cost of learning) -- workload {self.workload}\n{table}\n"
+            f"manual determination costs {self.average_ratio:.2f}x the automatic learning on average"
+        )
+
+
+def run_exp5(
+    workload_name: str = "tpcds",
+    settings: Optional[ExperimentSettings] = None,
+    pattern_count: int = 4,
+) -> Exp5Result:
+    """Compare GALO's measured analysis time with the expert baseline."""
+    settings = settings or ExperimentSettings()
+    bundle = build_bundle(workload_name, settings)
+    patterns = find_sample_patterns(
+        bundle.workload.database,
+        bundle.workload.queries[: settings.learning_query_count],
+        count=pattern_count,
+        max_joins=settings.max_joins,
+        random_plans=settings.random_plans_per_subquery,
+    )
+    expert = ExpertModel(bundle.workload.database)
+    result = Exp5Result(workload=bundle.workload.name)
+    for index, pattern in enumerate(patterns, start=1):
+        finding: ExpertFinding = expert.analyze(pattern, index - 1)
+        result.rows.append(
+            CostRow(
+                pattern=f"#{index} {pattern.name}",
+                galo_seconds=pattern.galo_analysis_seconds,
+                expert_seconds=finding.expert_analysis_seconds,
+            )
+        )
+    return result

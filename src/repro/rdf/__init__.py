@@ -1,0 +1,31 @@
+"""RDF triple store and SPARQL-subset engine.
+
+The paper stores its knowledge base as RDF and queries it with SPARQL (via
+Apache Jena and a Fuseki/TDB server).  This package provides the same
+capabilities from scratch:
+
+* :mod:`repro.rdf.terms` -- IRIs, literals, blank nodes, variables;
+* :mod:`repro.rdf.graph` -- an indexed in-memory triple store with N-Triples
+  serialization;
+* :mod:`repro.rdf.sparql` -- a parser and evaluator for the SPARQL subset
+  GALO's generated queries use (basic graph patterns, FILTER expressions,
+  STR(), property paths, DISTINCT and LIMIT).
+"""
+
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI, BlankNode, Literal, Variable
+from repro.rdf.sparql.evaluator import SparqlEngine
+from repro.rdf.sparql.parser import parse_sparql
+
+__all__ = [
+    "Graph",
+    "Triple",
+    "Namespace",
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Variable",
+    "SparqlEngine",
+    "parse_sparql",
+]

@@ -1,0 +1,233 @@
+"""An indexed, in-memory RDF triple store.
+
+The store keeps three hash indexes (SPO, POS, OSP) so that any triple pattern
+with at least one constant position is answered without scanning the whole
+graph -- the same reason the paper picks a triple store (Jena TDB) over
+grepping plan files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Node, term_sort_key
+from repro.errors import RdfError
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement: subject, predicate, object."""
+
+    subject: Node
+    predicate: IRI
+    object: Node
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+
+class Graph:
+    """A set of triples with SPO / POS / OSP indexes."""
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Node, Dict[IRI, Set[Node]]] = {}
+        self._pos: Dict[IRI, Dict[Node, Set[Node]]] = {}
+        self._osp: Dict[Node, Dict[Node, Set[IRI]]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        if not isinstance(triple.predicate, IRI):
+            raise RdfError("triple predicates must be IRIs")
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        self._spo.setdefault(triple.subject, {}).setdefault(triple.predicate, set()).add(triple.object)
+        self._pos.setdefault(triple.predicate, {}).setdefault(triple.object, set()).add(triple.subject)
+        self._osp.setdefault(triple.object, {}).setdefault(triple.subject, set()).add(triple.predicate)
+
+    def add_triple(self, subject: Node, predicate: IRI, obj: Node) -> None:
+        self.add(Triple(subject, predicate, obj))
+
+    def update(self, other: "Graph") -> None:
+        """Add every triple of ``other`` into this graph."""
+        for triple in other:
+            self.add(triple)
+
+    def remove(self, triple: Triple) -> None:
+        if triple not in self._triples:
+            return
+        self._triples.discard(triple)
+        self._spo[triple.subject][triple.predicate].discard(triple.object)
+        self._pos[triple.predicate][triple.object].discard(triple.subject)
+        self._osp[triple.object][triple.subject].discard(triple.predicate)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def triples(
+        self,
+        subject: Optional[Node] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Node] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching a pattern; ``None`` positions are wildcards."""
+        if subject is not None and predicate is not None and obj is not None:
+            candidate = Triple(subject, predicate, obj)
+            if candidate in self._triples:
+                yield candidate
+            return
+        if subject is not None:
+            by_predicate = self._spo.get(subject, {})
+            predicates = [predicate] if predicate is not None else list(by_predicate)
+            for pred in predicates:
+                for value in by_predicate.get(pred, ()):  # type: ignore[arg-type]
+                    if obj is None or value == obj:
+                        yield Triple(subject, pred, value)  # type: ignore[arg-type]
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate, {})
+            if obj is not None:
+                for subj in by_object.get(obj, ()):  # pragma: no branch
+                    yield Triple(subj, predicate, obj)
+                return
+            for value, subjects in by_object.items():
+                for subj in subjects:
+                    yield Triple(subj, predicate, value)
+            return
+        if obj is not None:
+            by_subject = self._osp.get(obj, {})
+            for subj, predicates in by_subject.items():
+                for pred in predicates:
+                    yield Triple(subj, pred, obj)
+            return
+        yield from self._triples
+
+    def objects(self, subject: Node, predicate: IRI) -> List[Node]:
+        """All objects of (subject, predicate, ?)."""
+        return list(self._spo.get(subject, {}).get(predicate, ()))
+
+    def value(self, subject: Node, predicate: IRI) -> Optional[Node]:
+        """A single object of (subject, predicate, ?), or None."""
+        objects = self.objects(subject, predicate)
+        return objects[0] if objects else None
+
+    def subjects(self, predicate: Optional[IRI] = None, obj: Optional[Node] = None) -> List[Node]:
+        """Distinct subjects matching (?, predicate, object)."""
+        return sorted(
+            {triple.subject for triple in self.triples(None, predicate, obj)},
+            key=term_sort_key,
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_ntriples(self) -> str:
+        """Serialize the graph as sorted N-Triples text."""
+        lines = sorted(triple.n3() for triple in self._triples)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_ntriples(cls, text: str) -> "Graph":
+        """Parse N-Triples text produced by :meth:`to_ntriples`."""
+        graph = cls()
+        # Split on '\n' only: escaped literals never contain a raw newline, but
+        # they may contain other Unicode line-boundary characters that
+        # str.splitlines() would wrongly split on.
+        for line_number, raw_line in enumerate(text.split("\n"), start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            graph.add(_parse_ntriple_line(line, line_number))
+        return graph
+
+
+def _parse_ntriple_line(line: str, line_number: int) -> Triple:
+    if not line.endswith("."):
+        raise RdfError(f"line {line_number}: missing terminating '.'")
+    body = line[:-1].strip()
+    terms: List[Node] = []
+    index = 0
+    while index < len(body) and len(terms) < 3:
+        while index < len(body) and body[index].isspace():
+            index += 1
+        if index >= len(body):
+            break
+        char = body[index]
+        if char == "<":
+            end = body.index(">", index)
+            terms.append(IRI(body[index + 1:end]))
+            index = end + 1
+        elif char == "_":
+            end = index
+            while end < len(body) and not body[end].isspace():
+                end += 1
+            terms.append(BlankNode(body[index + 2:end]))
+            index = end
+        elif char == '"':
+            end = index + 1
+            while end < len(body):
+                if body[end] == '"' and not _is_escaped(body, end):
+                    break
+                end += 1
+            raw = _unescape(body[index + 1:end])
+            index = end + 1
+            # Optional ^^<datatype> marker distinguishes numeric literals from
+            # strings that merely look numeric (e.g. "007").
+            if body[index:index + 2] == "^^":
+                datatype_end = body.index(">", index)
+                datatype = body[index + 3:datatype_end]
+                index = datatype_end + 1
+                if datatype.endswith("integer"):
+                    terms.append(Literal(int(raw)))
+                else:
+                    terms.append(Literal(float(raw)))
+            else:
+                terms.append(Literal(raw))
+        else:
+            raise RdfError(f"line {line_number}: unexpected character {char!r}")
+    if len(terms) != 3:
+        raise RdfError(f"line {line_number}: expected 3 terms, found {len(terms)}")
+    subject, predicate, obj = terms
+    if not isinstance(predicate, IRI):
+        raise RdfError(f"line {line_number}: predicate must be an IRI")
+    return Triple(subject, predicate, obj)
+
+
+def _is_escaped(text: str, position: int) -> bool:
+    """True when the character at ``position`` is preceded by an odd number of backslashes."""
+    backslashes = 0
+    index = position - 1
+    while index >= 0 and text[index] == "\\":
+        backslashes += 1
+        index -= 1
+    return backslashes % 2 == 1
+
+
+def _unescape(raw: str) -> str:
+    """Decode the escape sequences produced by :meth:`Literal.n3`."""
+    out = []
+    index = 0
+    replacements = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\" and index + 1 < len(raw) and raw[index + 1] in replacements:
+            out.append(replacements[raw[index + 1]])
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+

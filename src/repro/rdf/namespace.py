@@ -1,0 +1,43 @@
+"""Namespace helper for building IRIs, mirroring Jena's conventions."""
+
+from __future__ import annotations
+
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """Creates IRIs under a common prefix: ``ns.term`` or ``ns["term"]``."""
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return self.term(local)
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local_name(self, iri: IRI) -> str:
+        """Strip the namespace prefix from ``iri``."""
+        if iri not in self:
+            raise ValueError(f"{iri} is not in namespace {self._base}")
+        return iri.value[len(self._base):]
+
+
+#: Namespaces used by GALO's knowledge base, matching the IRIs in the paper.
+QEP_POP = Namespace("http://galo/qep/pop/")
+QEP_PROPERTY = Namespace("http://galo/qep/property/")
+KB_TEMPLATE = Namespace("http://galo/kb/template/")
+KB_PROPERTY = Namespace("http://galo/kb/property/")

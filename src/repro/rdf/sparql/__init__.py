@@ -1,0 +1,14 @@
+"""SPARQL subset: AST, parser, and evaluator."""
+
+from repro.rdf.sparql.ast import FilterClause, PropertyPath, SelectQuery, TriplePattern
+from repro.rdf.sparql.evaluator import SparqlEngine
+from repro.rdf.sparql.parser import parse_sparql
+
+__all__ = [
+    "SelectQuery",
+    "TriplePattern",
+    "PropertyPath",
+    "FilterClause",
+    "SparqlEngine",
+    "parse_sparql",
+]

@@ -1,0 +1,267 @@
+"""Parser for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SparqlSyntaxError
+from repro.rdf.sparql.ast import (
+    FilterClause,
+    FilterComparison,
+    FilterExpression,
+    FilterLogical,
+    PropertyPath,
+    SelectQuery,
+    StrCall,
+    TriplePattern,
+)
+from repro.rdf.terms import IRI, Literal, Variable
+
+_TOKEN_SPEC = [
+    ("IRIREF", r"<[^<>\s]*>"),
+    ("STRING", r"'(?:[^']|'')*'|\"(?:[^\"]|\\\")*\""),
+    ("NUMBER", r"-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"),
+    ("VAR", r"\?[A-Za-z_][A-Za-z0-9_]*"),
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("KEYWORD_OR_NAME", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("COMPARE", r"<=|>=|!=|=|<|>"),
+    ("AND", r"&&"),
+    ("OR", r"\|\|"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("COLON", r":"),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("BANG", r"!"),
+    ("COMMA", r","),
+    ("WS", r"\s+"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"PREFIX", "SELECT", "WHERE", "FILTER", "DISTINCT", "LIMIT", "STR"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _MASTER_RE.match(text, position)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup or ""
+        token_text = match.group()
+        if kind != "WS":
+            if kind == "KEYWORD_OR_NAME" and token_text.upper() in _KEYWORDS:
+                kind = "KEYWORD"
+            tokens.append(_Token(kind, token_text, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.prefixes: Dict[str, str] = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.upper != text):
+            raise SparqlSyntaxError(
+                f"expected {text or kind} at offset {token.position}, found {token.text!r}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.upper == word:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        query = SelectQuery()
+        while self._accept_keyword("PREFIX"):
+            prefix_name = self._expect("KEYWORD_OR_NAME").text
+            self._expect("COLON")
+            iri_token = self._expect("IRIREF")
+            self.prefixes[prefix_name] = iri_token.text[1:-1]
+        query.prefixes = dict(self.prefixes)
+
+        self._expect("KEYWORD", "SELECT")
+        if self._accept_keyword("DISTINCT"):
+            query.distinct = True
+        if self._peek().kind == "STAR":
+            self._advance()
+            query.select_all = True
+        else:
+            while self._peek().kind == "VAR":
+                query.variables.append(Variable(self._advance().text[1:]))
+            if not query.variables:
+                raise SparqlSyntaxError("SELECT needs at least one variable or *")
+
+        self._expect("KEYWORD", "WHERE")
+        self._expect("LBRACE")
+        while self._peek().kind != "RBRACE":
+            if self._accept_keyword("FILTER"):
+                query.where.append(self._parse_filter())
+            else:
+                query.where.append(self._parse_triple())
+            if self._peek().kind == "DOT":
+                self._advance()
+        self._expect("RBRACE")
+
+        if self._accept_keyword("LIMIT"):
+            query.limit = int(self._expect("NUMBER").text)
+        if self._peek().kind != "EOF":
+            token = self._peek()
+            raise SparqlSyntaxError(
+                f"unexpected trailing input {token.text!r} at offset {token.position}"
+            )
+        return query
+
+    # -- terms -------------------------------------------------------------
+
+    def _resolve_pname(self, text: str) -> IRI:
+        prefix, _, local = text.partition(":")
+        if prefix not in self.prefixes:
+            raise SparqlSyntaxError(f"undeclared prefix {prefix!r}")
+        return IRI(self.prefixes[prefix] + local)
+
+    def _parse_term(self):
+        token = self._advance()
+        if token.kind == "VAR":
+            return Variable(token.text[1:])
+        if token.kind == "IRIREF":
+            return IRI(token.text[1:-1])
+        if token.kind == "PNAME":
+            return self._resolve_pname(token.text)
+        if token.kind == "NUMBER":
+            return Literal(_parse_number(token.text))
+        if token.kind == "STRING":
+            return Literal(token.text[1:-1])
+        if token.kind == "KEYWORD_OR_NAME":
+            return Literal(token.text)
+        raise SparqlSyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_triple(self) -> TriplePattern:
+        subject = self._parse_term()
+        predicate = self._parse_term()
+        if self._peek().kind == "PLUS":
+            self._advance()
+            if not isinstance(predicate, IRI):
+                raise SparqlSyntaxError("property paths require an IRI predicate")
+            predicate = PropertyPath(predicate=predicate, one_or_more=True)
+        obj = self._parse_term()
+        return TriplePattern(subject=subject, predicate=predicate, object=obj)
+
+    # -- filters -------------------------------------------------------------
+
+    def _parse_filter(self) -> FilterClause:
+        self._expect("LPAREN")
+        expression = self._parse_or_expression()
+        self._expect("RPAREN")
+        return FilterClause(expression=expression)
+
+    def _parse_or_expression(self) -> FilterExpression:
+        left = self._parse_and_expression()
+        operands = [left]
+        while self._peek().kind == "OR":
+            self._advance()
+            operands.append(self._parse_and_expression())
+        if len(operands) == 1:
+            return left
+        return FilterLogical(op="||", operands=tuple(operands))
+
+    def _parse_and_expression(self) -> FilterExpression:
+        left = self._parse_primary_expression()
+        operands = [left]
+        while self._peek().kind == "AND":
+            self._advance()
+            operands.append(self._parse_primary_expression())
+        if len(operands) == 1:
+            return left
+        return FilterLogical(op="&&", operands=tuple(operands))
+
+    def _parse_primary_expression(self) -> FilterExpression:
+        if self._peek().kind == "BANG":
+            self._advance()
+            operand = self._parse_primary_expression()
+            return FilterLogical(op="!", operands=(operand,))
+        if self._peek().kind == "LPAREN":
+            self._advance()
+            expression = self._parse_or_expression()
+            self._expect("RPAREN")
+            return expression
+        left = self._parse_filter_operand()
+        op_token = self._expect("COMPARE")
+        right = self._parse_filter_operand()
+        return FilterComparison(op=op_token.text, left=left, right=right)
+
+    def _parse_filter_operand(self):
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.upper == "STR":
+            self._advance()
+            self._expect("LPAREN")
+            variable_token = self._expect("VAR")
+            self._expect("RPAREN")
+            return StrCall(operand=Variable(variable_token.text[1:]))
+        if token.kind == "VAR":
+            self._advance()
+            return Variable(token.text[1:])
+        if token.kind == "NUMBER":
+            self._advance()
+            return Literal(_parse_number(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.text[1:-1])
+        raise SparqlSyntaxError(
+            f"unexpected filter operand {token.text!r} at offset {token.position}"
+        )
+
+
+def _parse_number(text: str) -> Union[int, float]:
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query (subset); raises SparqlSyntaxError on failure."""
+    return _Parser(text).parse()

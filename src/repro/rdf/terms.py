@@ -1,0 +1,93 @@
+"""RDF terms: IRIs, literals, blank nodes -- plus SPARQL variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI reference, e.g. ``http://galo/qep/pop/2``."""
+
+    value: str
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+@dataclass(frozen=True)
+class BlankNode:
+    """An anonymous node, identified only within one graph."""
+
+    label: str
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value.  ``value`` may be a str, int, or float.
+
+    Numeric literals keep their Python type so SPARQL FILTER comparisons are
+    numeric where the paper's generated queries need them (cardinality and
+    row-size bounds).
+    """
+
+    value: Any
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
+
+    def n3(self) -> str:
+        if self.is_numeric:
+            suffix = "integer" if isinstance(self.value, int) else "double"
+            return f'"{self.value}"^^<http://www.w3.org/2001/XMLSchema#{suffix}>'
+        escaped = (
+            str(self.value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A SPARQL variable (``?name``)."""
+
+    name: str
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"?{self.name}"
+
+
+#: Anything that can appear in a triple stored in a graph.
+Node = Union[IRI, BlankNode, Literal]
+#: Anything that can appear in a SPARQL triple pattern.
+TermOrVariable = Union[IRI, BlankNode, Literal, Variable]
+
+
+def term_sort_key(term: Node) -> tuple:
+    """A deterministic ordering over terms (used for stable serialization)."""
+    if isinstance(term, IRI):
+        return (0, term.value)
+    if isinstance(term, BlankNode):
+        return (1, term.label)
+    return (2, str(term.value))

@@ -1,0 +1,25 @@
+"""Synthetic workloads: a TPC-DS-like benchmark and an "IBM client"-like warehouse.
+
+Both workloads are star/snowflake schemas populated with deliberately skewed
+and correlated data so that the optimizer's independence/uniformity assumptions
+mis-estimate cardinalities -- the precondition for the problem patterns GALO
+learns.  Each workload exposes:
+
+* ``build_database(scale, seed)`` -- create and populate a :class:`Database`;
+* ``generate_queries(count, seed)`` -- the workload's query set as
+  ``(name, sql)`` pairs (99 queries for TPC-DS, 116 for the client workload,
+  matching the paper's evaluation).
+"""
+
+from repro.workloads.tpcds import build_tpcds_database, generate_tpcds_queries
+from repro.workloads.client import build_client_database, generate_client_queries
+from repro.workloads.workload import Workload, load_workload
+
+__all__ = [
+    "Workload",
+    "load_workload",
+    "build_tpcds_database",
+    "generate_tpcds_queries",
+    "build_client_database",
+    "generate_client_queries",
+]

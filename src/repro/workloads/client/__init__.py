@@ -1,0 +1,7 @@
+"""Synthetic "IBM client"-like workload (insurance-claims warehouse)."""
+
+from repro.workloads.client.datagen import build_client_database
+from repro.workloads.client.queries import generate_client_queries
+from repro.workloads.client.schema import client_schemas
+
+__all__ = ["build_client_database", "generate_client_queries", "client_schemas"]

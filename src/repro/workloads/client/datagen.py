@@ -1,0 +1,233 @@
+"""Synthetic data generation for the client-like workload.
+
+The same pathologies as the TPC-DS-like data -- recent-date clustering, skewed
+categorical distributions, correlated attributes, facts physically ordered by
+date so non-date foreign-key indexes are poorly clustered -- with different
+table names, sizes and value domains.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+from repro.workloads.client.schema import (
+    CLAIM_SEVERITIES,
+    CLAIM_TYPES,
+    PARTY_SEGMENTS,
+    PARTY_STATES,
+    POLICY_PRODUCTS,
+    REGION_COUNTRIES,
+    STATUS_GROUPS,
+    client_schemas,
+)
+
+#: Base table cardinalities at scale = 1.0.
+BASE_SIZES = {
+    "CLAIM_ENTRY": 16_000,
+    "OPEN_ITEM": 11_000,
+    "POLICY": 2_400,
+    "CLAIM": 3_000,
+    "PARTY": 2_600,
+    "REGION": 40,
+    "STATUS_DIM": 24,
+    "CALENDAR": 5_475,   # 15 years of days
+    "ADJUSTER": 80,
+}
+
+RECENT_ACTIVITY_FRACTION = 0.9
+
+
+def _zipf_choice(rng: random.Random, n: int, skew: float = 1.15) -> int:
+    u = rng.random()
+    return min(n - 1, int(n * (u ** skew)))
+
+
+def table_sizes(scale: float) -> Dict[str, int]:
+    sizes = {}
+    for table, base in BASE_SIZES.items():
+        if table in ("REGION", "STATUS_DIM", "ADJUSTER", "CALENDAR"):
+            sizes[table] = base
+        else:
+            sizes[table] = max(10, int(base * scale))
+    return sizes
+
+
+def build_client_database(
+    scale: float = 1.0, seed: int = 7, config: Optional[DbConfig] = None
+) -> Database:
+    """Create and populate the client-like database instance."""
+    database = Database(config=config, name="CLIENT")
+    for schema in client_schemas():
+        database.create_table(schema)
+
+    rng = random.Random(seed)
+    sizes = table_sizes(scale)
+
+    _load_calendar(database, sizes["CALENDAR"])
+    _load_policy(database, rng, sizes["POLICY"])
+    _load_claim(database, rng, sizes["CLAIM"])
+    _load_party(database, rng, sizes["PARTY"])
+    _load_region(database, sizes["REGION"])
+    _load_status(database, sizes["STATUS_DIM"])
+    _load_adjuster(database, rng, sizes["ADJUSTER"])
+    _load_facts(database, rng, sizes)
+    return database
+
+
+def _load_calendar(database: Database, days: int) -> None:
+    database.load_rows(
+        "CALENDAR",
+        [
+            {
+                "cal_date_sk": day,
+                "cal_date": 12_000 + day,
+                "cal_year": 2004 + day // 365,
+                "cal_month": (day % 365) // 30 + 1,
+            }
+            for day in range(days)
+        ],
+    )
+
+
+def _load_policy(database: Database, rng: random.Random, count: int) -> None:
+    database.load_rows(
+        "POLICY",
+        [
+            {
+                "po_policy_sk": sk,
+                # Product correlates with channel (agents sell premium/fleet).
+                "po_product": POLICY_PRODUCTS[_zipf_choice(rng, len(POLICY_PRODUCTS), 1.3)],
+                "po_channel": "agent" if sk % 3 else "direct",
+                "po_start_year": rng.randint(2004, 2018),
+            }
+            for sk in range(count)
+        ],
+    )
+
+
+def _load_claim(database: Database, rng: random.Random, count: int) -> None:
+    rows = []
+    for sk in range(count):
+        type_index = _zipf_choice(rng, len(CLAIM_TYPES), 1.4)
+        claim_type = CLAIM_TYPES[type_index]
+        # Severity correlates with claim type.
+        severity = CLAIM_SEVERITIES[min(len(CLAIM_SEVERITIES) - 1, type_index % 4)]
+        rows.append(
+            {
+                "cl_claim_sk": sk,
+                "cl_type": claim_type,
+                "cl_severity": severity,
+                "cl_open_year": rng.randint(2010, 2018),
+            }
+        )
+    database.load_rows("CLAIM", rows)
+
+
+def _load_party(database: Database, rng: random.Random, count: int) -> None:
+    database.load_rows(
+        "PARTY",
+        [
+            {
+                "pa_party_sk": sk,
+                "pa_segment": PARTY_SEGMENTS[_zipf_choice(rng, len(PARTY_SEGMENTS), 1.3)],
+                "pa_state": PARTY_STATES[_zipf_choice(rng, len(PARTY_STATES), 1.35)],
+                "pa_birth_year": rng.randint(1935, 2000),
+            }
+            for sk in range(count)
+        ],
+    )
+
+
+def _load_region(database: Database, count: int) -> None:
+    database.load_rows(
+        "REGION",
+        [
+            {
+                "rg_region_sk": sk,
+                "rg_name": f"region_{sk}",
+                "rg_country": REGION_COUNTRIES[sk % len(REGION_COUNTRIES)],
+            }
+            for sk in range(count)
+        ],
+    )
+
+
+def _load_status(database: Database, count: int) -> None:
+    database.load_rows(
+        "STATUS_DIM",
+        [
+            {
+                "st_status_sk": sk,
+                "st_code": f"S{sk:02d}",
+                "st_group": STATUS_GROUPS[sk % len(STATUS_GROUPS)],
+            }
+            for sk in range(count)
+        ],
+    )
+
+
+def _load_adjuster(database: Database, rng: random.Random, count: int) -> None:
+    database.load_rows(
+        "ADJUSTER",
+        [
+            {
+                "ad_adjuster_sk": sk,
+                "ad_office": f"office_{sk % 9}",
+                "ad_grade": rng.randint(1, 5),
+            }
+            for sk in range(count)
+        ],
+    )
+
+
+def _activity_date(rng: random.Random, days: int) -> int:
+    if rng.random() < RECENT_ACTIVITY_FRACTION:
+        return rng.randint(days - 365, days - 1)
+    return rng.randint(0, days - 366)
+
+
+def _load_facts(database: Database, rng: random.Random, sizes: Dict[str, int]) -> None:
+    days = sizes["CALENDAR"]
+    claim_count = sizes["CLAIM"]
+    policy_count = sizes["POLICY"]
+    party_count = sizes["PARTY"]
+    region_count = sizes["REGION"]
+    status_count = sizes["STATUS_DIM"]
+    adjuster_count = sizes["ADJUSTER"]
+
+    claim_entries = []
+    for _ in range(sizes["CLAIM_ENTRY"]):
+        amount = round(rng.uniform(50.0, 25_000.0), 2)
+        claim_entries.append(
+            {
+                "ce_posted_date_sk": _activity_date(rng, days),
+                "ce_claim_sk": _zipf_choice(rng, claim_count, 1.25),
+                "ce_policy_sk": _zipf_choice(rng, policy_count, 1.2),
+                "ce_party_sk": _zipf_choice(rng, party_count, 1.2),
+                "ce_status_sk": _zipf_choice(rng, status_count, 1.5),
+                "ce_adjuster_sk": rng.randrange(adjuster_count),
+                "ce_amount": amount,
+                "ce_quantity": rng.randint(1, 5),
+            }
+        )
+    claim_entries.sort(key=lambda row: row["ce_posted_date_sk"])
+    database.load_rows("CLAIM_ENTRY", claim_entries)
+
+    open_items = []
+    for _ in range(sizes["OPEN_ITEM"]):
+        open_items.append(
+            {
+                "oi_due_date_sk": _activity_date(rng, days),
+                "oi_claim_sk": _zipf_choice(rng, claim_count, 1.3),
+                "oi_policy_sk": _zipf_choice(rng, policy_count, 1.25),
+                "oi_region_sk": _zipf_choice(rng, region_count, 1.4),
+                "oi_party_sk": _zipf_choice(rng, party_count, 1.25),
+                "oi_amount": round(rng.uniform(10.0, 8_000.0), 2),
+                "oi_age_days": rng.randint(0, 720),
+            }
+        )
+    open_items.sort(key=lambda row: row["oi_due_date_sk"])
+    database.load_rows("OPEN_ITEM", open_items)

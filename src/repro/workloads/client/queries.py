@@ -1,0 +1,103 @@
+"""The 116-query client-like workload."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.client.schema import (
+    CLAIM_SEVERITIES,
+    CLAIM_TYPES,
+    PARTY_SEGMENTS,
+    PARTY_STATES,
+    POLICY_PRODUCTS,
+    STATUS_GROUPS,
+)
+from repro.workloads.generator import (
+    DimensionLink,
+    FactTable,
+    PredicateTemplate,
+    StarQueryGenerator,
+    StarSchemaModel,
+    equality_predicate,
+    numeric_range_predicate,
+    threshold_predicate,
+)
+
+
+def client_model() -> StarSchemaModel:
+    """The star-schema description driving the client-like query generator."""
+    claim_predicates = [
+        PredicateTemplate("CLAIM", equality_predicate("cl_type", CLAIM_TYPES)),
+        PredicateTemplate("CLAIM", equality_predicate("cl_severity", CLAIM_SEVERITIES)),
+        PredicateTemplate("CLAIM", threshold_predicate("cl_open_year", 2012, 2018)),
+    ]
+    policy_predicates = [
+        PredicateTemplate("POLICY", equality_predicate("po_product", POLICY_PRODUCTS)),
+        PredicateTemplate("POLICY", equality_predicate("po_channel", ["agent", "direct"])),
+    ]
+    party_predicates = [
+        PredicateTemplate("PARTY", equality_predicate("pa_state", PARTY_STATES)),
+        PredicateTemplate("PARTY", equality_predicate("pa_segment", PARTY_SEGMENTS)),
+    ]
+    calendar_predicates = [
+        PredicateTemplate("CALENDAR", threshold_predicate("cal_year", 2004, 2018)),
+        PredicateTemplate("CALENDAR", numeric_range_predicate("cal_date_sk", 0, 5474)),
+    ]
+    status_predicates = [
+        PredicateTemplate("STATUS_DIM", equality_predicate("st_group", STATUS_GROUPS)),
+    ]
+    region_predicates = [
+        PredicateTemplate("REGION", equality_predicate("rg_country", ["CA", "US"])),
+    ]
+
+    claim_entry = FactTable(
+        name="CLAIM_ENTRY",
+        links=[
+            DimensionLink("CLAIM", "ce_claim_sk", "cl_claim_sk"),
+            DimensionLink("POLICY", "ce_policy_sk", "po_policy_sk"),
+            DimensionLink("PARTY", "ce_party_sk", "pa_party_sk"),
+            DimensionLink("CALENDAR", "ce_posted_date_sk", "cal_date_sk"),
+            DimensionLink("STATUS_DIM", "ce_status_sk", "st_status_sk"),
+            DimensionLink("ADJUSTER", "ce_adjuster_sk", "ad_adjuster_sk"),
+        ],
+        measures=["ce_amount", "ce_quantity"],
+    )
+    open_item = FactTable(
+        name="OPEN_ITEM",
+        links=[
+            DimensionLink("CLAIM", "oi_claim_sk", "cl_claim_sk"),
+            DimensionLink("POLICY", "oi_policy_sk", "po_policy_sk"),
+            DimensionLink("PARTY", "oi_party_sk", "pa_party_sk"),
+            DimensionLink("CALENDAR", "oi_due_date_sk", "cal_date_sk"),
+            DimensionLink("REGION", "oi_region_sk", "rg_region_sk"),
+        ],
+        measures=["oi_amount", "oi_age_days"],
+    )
+
+    return StarSchemaModel(
+        facts=[claim_entry, open_item],
+        descriptive_columns={
+            "CLAIM": ["cl_type", "cl_severity"],
+            "POLICY": ["po_product", "po_channel"],
+            "PARTY": ["pa_state", "pa_segment"],
+            "CALENDAR": ["cal_year", "cal_month"],
+            "STATUS_DIM": ["st_group"],
+            "REGION": ["rg_country"],
+        },
+        dimension_predicates={
+            "CLAIM": claim_predicates,
+            "POLICY": policy_predicates,
+            "PARTY": party_predicates,
+            "CALENDAR": calendar_predicates,
+            "STATUS_DIM": status_predicates,
+            "REGION": region_predicates,
+        },
+        snowflake_links={},
+    )
+
+
+def generate_client_queries(count: int = 116, seed: int = 7) -> List[Tuple[str, str]]:
+    """Generate the client-like workload queries as ``(name, sql)`` pairs."""
+    generator = StarQueryGenerator(client_model(), seed=seed)
+    queries = generator.generate(count, min_dimensions=1, max_dimensions=5)
+    return [(query.name, query.sql) for query in queries]

@@ -1,0 +1,139 @@
+"""Schema of the "IBM client"-like workload.
+
+The paper's second workload is a real customer warehouse; its motivating
+example (Figure 1) joins an ``OPEN_IN`` table with an ``ENTRY_IDX`` table.
+We model a comparable insurance-claims warehouse: two event facts
+(``CLAIM_ENTRY``, ``OPEN_ITEM``) and their dimensions.  Naming is completely
+different from TPC-DS, but the join/selection *structure* overlaps -- which is
+exactly what Exp-2's cross-workload template reuse relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.schema import Index, TableSchema, make_schema
+from repro.engine.types import DataType
+
+
+def client_schemas() -> List[TableSchema]:
+    """All table schemas of the client-like workload."""
+    integer = DataType.INTEGER
+    decimal = DataType.DECIMAL
+    varchar = DataType.VARCHAR
+
+    return [
+        make_schema(
+            "CLAIM_ENTRY",
+            [
+                ("ce_posted_date_sk", integer),
+                ("ce_claim_sk", integer),
+                ("ce_policy_sk", integer),
+                ("ce_party_sk", integer),
+                ("ce_status_sk", integer),
+                ("ce_adjuster_sk", integer),
+                ("ce_amount", decimal),
+                ("ce_quantity", integer),
+            ],
+            [
+                Index("CE_POSTED_DATE_IDX", "CLAIM_ENTRY", "ce_posted_date_sk", cluster_ratio=0.96),
+                Index("CE_CLAIM_IDX", "CLAIM_ENTRY", "ce_claim_sk", cluster_ratio=0.17),
+                Index("CE_PARTY_IDX", "CLAIM_ENTRY", "ce_party_sk", cluster_ratio=0.2),
+                Index("CE_POLICY_IDX", "CLAIM_ENTRY", "ce_policy_sk", cluster_ratio=0.22),
+            ],
+        ),
+        make_schema(
+            "OPEN_ITEM",
+            [
+                ("oi_due_date_sk", integer),
+                ("oi_claim_sk", integer),
+                ("oi_policy_sk", integer),
+                ("oi_region_sk", integer),
+                ("oi_party_sk", integer),
+                ("oi_amount", decimal),
+                ("oi_age_days", integer),
+            ],
+            [
+                Index("OI_DUE_DATE_IDX", "OPEN_ITEM", "oi_due_date_sk", cluster_ratio=0.95),
+                Index("OI_CLAIM_IDX", "OPEN_ITEM", "oi_claim_sk", cluster_ratio=0.2),
+                Index("OI_POLICY_IDX", "OPEN_ITEM", "oi_policy_sk", cluster_ratio=0.25),
+                Index("OI_PARTY_IDX", "OPEN_ITEM", "oi_party_sk", cluster_ratio=0.18),
+            ],
+        ),
+        make_schema(
+            "POLICY",
+            [
+                ("po_policy_sk", integer),
+                ("po_product", varchar),
+                ("po_channel", varchar),
+                ("po_start_year", integer),
+            ],
+            [Index("PO_POLICY_PK", "POLICY", "po_policy_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "CLAIM",
+            [
+                ("cl_claim_sk", integer),
+                ("cl_type", varchar),
+                ("cl_severity", varchar),
+                ("cl_open_year", integer),
+            ],
+            [Index("CL_CLAIM_PK", "CLAIM", "cl_claim_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "PARTY",
+            [
+                ("pa_party_sk", integer),
+                ("pa_segment", varchar),
+                ("pa_state", varchar),
+                ("pa_birth_year", integer),
+            ],
+            [Index("PA_PARTY_PK", "PARTY", "pa_party_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "REGION",
+            [
+                ("rg_region_sk", integer),
+                ("rg_name", varchar),
+                ("rg_country", varchar),
+            ],
+            [Index("RG_REGION_PK", "REGION", "rg_region_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "STATUS_DIM",
+            [
+                ("st_status_sk", integer),
+                ("st_code", varchar),
+                ("st_group", varchar),
+            ],
+            [Index("ST_STATUS_PK", "STATUS_DIM", "st_status_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "CALENDAR",
+            [
+                ("cal_date_sk", integer),
+                ("cal_date", DataType.DATE),
+                ("cal_year", integer),
+                ("cal_month", integer),
+            ],
+            [Index("CAL_DATE_PK", "CALENDAR", "cal_date_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "ADJUSTER",
+            [
+                ("ad_adjuster_sk", integer),
+                ("ad_office", varchar),
+                ("ad_grade", integer),
+            ],
+            [Index("AD_ADJUSTER_PK", "ADJUSTER", "ad_adjuster_sk", unique=True, cluster_ratio=0.99)],
+        ),
+    ]
+
+
+CLAIM_TYPES = ["auto", "property", "liability", "health", "travel", "marine"]
+CLAIM_SEVERITIES = ["low", "medium", "high", "critical"]
+PARTY_SEGMENTS = ["retail", "commercial", "corporate", "government"]
+PARTY_STATES = ["ON", "QC", "BC", "AB", "MB", "NS", "SK", "NB"]
+POLICY_PRODUCTS = ["standard", "premium", "fleet", "umbrella", "basic"]
+STATUS_GROUPS = ["open", "pending", "closed", "disputed"]
+REGION_COUNTRIES = ["CA", "US", "UK", "DE"]

@@ -1,0 +1,231 @@
+"""Shared star-schema query generation machinery.
+
+A workload is described by a :class:`StarSchemaModel`: fact tables, the
+foreign-key links from facts to dimensions, and per-dimension predicate
+templates (with value samplers).  The generator then produces analytic
+queries -- a fact table joined to a random subset of its dimensions, local
+predicates on some of the dimensions, an aggregate and a GROUP BY -- the same
+query shape the paper's workloads exhibit (Figure 3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DimensionLink:
+    """A join edge from a fact table to a dimension table."""
+
+    dimension: str
+    fact_column: str
+    dimension_column: str
+
+
+@dataclass
+class PredicateTemplate:
+    """A parameterized local predicate on one table.
+
+    ``render`` receives a :class:`random.Random` and returns the SQL text of
+    the predicate (e.g. ``"i_category = 'Jewelry'"``).
+    """
+
+    table: str
+    render: Callable[[random.Random], str]
+
+
+@dataclass
+class FactTable:
+    """A fact table plus its dimension links, measures and group-by columns."""
+
+    name: str
+    links: List[DimensionLink] = field(default_factory=list)
+    measures: List[str] = field(default_factory=list)
+    local_predicates: List[PredicateTemplate] = field(default_factory=list)
+
+
+@dataclass
+class StarSchemaModel:
+    """Everything the query generator needs to know about a workload schema."""
+
+    facts: List[FactTable] = field(default_factory=list)
+    #: columns suitable for SELECT / GROUP BY, keyed by table
+    descriptive_columns: Dict[str, List[str]] = field(default_factory=dict)
+    #: predicate templates keyed by dimension table
+    dimension_predicates: Dict[str, List[PredicateTemplate]] = field(default_factory=dict)
+    #: extra fact-to-fact or dim-to-dim links usable to deepen queries
+    snowflake_links: Dict[str, List[DimensionLink]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One generated workload query."""
+
+    name: str
+    sql: str
+    fact: str
+    dimensions: Tuple[str, ...]
+
+    @property
+    def join_count(self) -> int:
+        return len(self.dimensions)
+
+
+class StarQueryGenerator:
+    """Generates deterministic pseudo-random analytic queries for a model."""
+
+    def __init__(self, model: StarSchemaModel, seed: int = 20190901):
+        self.model = model
+        self.seed = seed
+
+    def generate(
+        self,
+        count: int,
+        min_dimensions: int = 1,
+        max_dimensions: int = 5,
+        aggregate_probability: float = 0.8,
+        predicate_probability: float = 0.75,
+    ) -> List[GeneratedQuery]:
+        """Generate ``count`` queries named ``query1`` .. ``query<count>``."""
+        rng = random.Random(self.seed)
+        queries: List[GeneratedQuery] = []
+        for index in range(1, count + 1):
+            queries.append(
+                self._generate_one(
+                    rng,
+                    name=f"query{index}",
+                    min_dimensions=min_dimensions,
+                    max_dimensions=max_dimensions,
+                    aggregate_probability=aggregate_probability,
+                    predicate_probability=predicate_probability,
+                )
+            )
+        return queries
+
+    # ------------------------------------------------------------------
+
+    def _generate_one(
+        self,
+        rng: random.Random,
+        name: str,
+        min_dimensions: int,
+        max_dimensions: int,
+        aggregate_probability: float,
+        predicate_probability: float,
+    ) -> GeneratedQuery:
+        fact = rng.choice(self.model.facts)
+        available_links = list(fact.links)
+        rng.shuffle(available_links)
+        dimension_count = rng.randint(
+            min_dimensions, min(max_dimensions, len(available_links))
+        )
+        chosen_links = available_links[:dimension_count]
+
+        tables = [fact.name] + [link.dimension for link in chosen_links]
+        join_conditions = [
+            f"{link.fact_column} = {link.dimension_column}" for link in chosen_links
+        ]
+
+        # Optionally snowflake one dimension a level deeper.
+        for link in chosen_links:
+            deeper = self.model.snowflake_links.get(link.dimension, [])
+            if deeper and rng.random() < 0.25 and len(tables) <= max_dimensions:
+                extra = rng.choice(deeper)
+                if extra.dimension not in tables:
+                    tables.append(extra.dimension)
+                    join_conditions.append(
+                        f"{extra.fact_column} = {extra.dimension_column}"
+                    )
+                break
+
+        predicates: List[str] = []
+        for link in chosen_links:
+            templates = self.model.dimension_predicates.get(link.dimension, [])
+            if templates and rng.random() < predicate_probability:
+                template = rng.choice(templates)
+                predicates.append(template.render(rng))
+        for template in fact.local_predicates:
+            if rng.random() < 0.2:
+                predicates.append(template.render(rng))
+
+        group_columns = self._group_columns(rng, tables)
+        use_aggregate = rng.random() < aggregate_probability and group_columns
+        select_items: List[str] = []
+        if use_aggregate:
+            select_items.extend(group_columns)
+            measure = rng.choice(fact.measures) if fact.measures else None
+            if measure is not None:
+                select_items.append(f"SUM({measure})")
+            select_items.append("COUNT(*)")
+        else:
+            select_items.extend(group_columns or self._fallback_columns(tables))
+
+        sql = "SELECT " + ", ".join(select_items)
+        sql += " FROM " + ", ".join(table.lower() for table in tables)
+        conditions = join_conditions + predicates
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        if use_aggregate:
+            sql += " GROUP BY " + ", ".join(group_columns)
+        return GeneratedQuery(
+            name=name,
+            sql=sql,
+            fact=fact.name,
+            dimensions=tuple(table for table in tables if table != fact.name),
+        )
+
+    def _group_columns(self, rng: random.Random, tables: Sequence[str]) -> List[str]:
+        candidates: List[str] = []
+        for table in tables:
+            candidates.extend(self.model.descriptive_columns.get(table, []))
+        if not candidates:
+            return []
+        rng.shuffle(candidates)
+        return sorted(candidates[: rng.randint(1, min(2, len(candidates)))])
+
+    def _fallback_columns(self, tables: Sequence[str]) -> List[str]:
+        for table in tables:
+            columns = self.model.descriptive_columns.get(table)
+            if columns:
+                return columns[:2]
+        return ["*"]
+
+
+# ---------------------------------------------------------------------------
+# Common predicate-template helpers used by both workloads
+# ---------------------------------------------------------------------------
+
+
+def equality_predicate(column: str, values: Sequence[str]) -> Callable[[random.Random], str]:
+    """``column = '<value>'`` with the value drawn from ``values``."""
+
+    def render(rng: random.Random) -> str:
+        value = rng.choice(list(values))
+        return f"{column} = '{value}'"
+
+    return render
+
+
+def numeric_range_predicate(
+    column: str, low: int, high: int, max_width_fraction: float = 0.3
+) -> Callable[[random.Random], str]:
+    """``column BETWEEN a AND b`` with a random sub-range of ``[low, high]``."""
+
+    def render(rng: random.Random) -> str:
+        span = max(1, int((high - low) * max_width_fraction))
+        start = rng.randint(low, max(low, high - span))
+        end = start + rng.randint(1, span)
+        return f"{column} BETWEEN {start} AND {min(end, high)}"
+
+    return render
+
+
+def threshold_predicate(column: str, low: int, high: int) -> Callable[[random.Random], str]:
+    """``column >= <value>`` with the threshold drawn from ``[low, high]``."""
+
+    def render(rng: random.Random) -> str:
+        return f"{column} >= {rng.randint(low, high)}"
+
+    return render

@@ -1,0 +1,7 @@
+"""TPC-DS-like synthetic workload (scaled-down, skew/correlation preserved)."""
+
+from repro.workloads.tpcds.datagen import build_tpcds_database
+from repro.workloads.tpcds.queries import generate_tpcds_queries
+from repro.workloads.tpcds.schema import tpcds_schemas
+
+__all__ = ["build_tpcds_database", "generate_tpcds_queries", "tpcds_schemas"]

@@ -1,0 +1,288 @@
+"""Synthetic data generation for the TPC-DS-like workload.
+
+The data is deliberately *not* uniform:
+
+* ``date_dim`` spans 20 years but sales rows cluster in the final year -- the
+  optimizer, assuming join-key containment and uniformity, wildly
+  over-estimates date-join cardinalities (the Figure 8 pattern);
+* item popularity is Zipf-like, so equality predicates on popular categories
+  are badly under-estimated by the uniform-remainder formula;
+* ``i_category`` determines ``i_class``, so conjunctions of the two are
+  over-filtered by the independence assumption;
+* customer addresses are skewed towards a few states;
+* fact rows are physically ordered by sale date, which makes the item /
+  customer foreign-key indexes poorly clustered (Figure 4's flooding).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+from repro.workloads.tpcds.schema import (
+    CUSTOMER_STATES,
+    ITEM_CATEGORIES,
+    ITEM_CLASSES_PER_CATEGORY,
+    tpcds_schemas,
+)
+
+#: Base table cardinalities at scale = 1.0 (chosen so the full pipeline runs
+#: comfortably on a laptop while keeping fact/dimension ratios realistic).
+BASE_SIZES = {
+    "STORE_SALES": 18_000,
+    "CATALOG_SALES": 14_000,
+    "WEB_SALES": 9_000,
+    "ITEM": 1_800,
+    "DATE_DIM": 7_305,   # 20 years of days
+    "CUSTOMER": 4_000,
+    "CUSTOMER_ADDRESS": 2_000,
+    "CUSTOMER_DEMOGRAPHICS": 1_920,
+    "STORE": 12,
+    "PROMOTION": 60,
+}
+
+#: Fraction of sales that fall within the final year of the calendar.
+RECENT_SALES_FRACTION = 0.92
+
+
+def _zipf_choice(rng: random.Random, n: int, skew: float = 1.1) -> int:
+    """A cheap Zipf-ish sampler over ``range(n)`` (rank 0 is most popular)."""
+    u = rng.random()
+    rank = int(n * (u ** skew))
+    return min(n - 1, rank)
+
+
+def table_sizes(scale: float) -> Dict[str, int]:
+    """Table cardinalities for a given scale factor (dimensions scale gently)."""
+    sizes = {}
+    for table, base in BASE_SIZES.items():
+        if table in ("STORE", "PROMOTION"):
+            sizes[table] = base
+        elif table == "DATE_DIM":
+            sizes[table] = base
+        else:
+            sizes[table] = max(10, int(base * scale))
+    return sizes
+
+
+def build_tpcds_database(
+    scale: float = 1.0, seed: int = 42, config: Optional[DbConfig] = None
+) -> Database:
+    """Create and populate a TPC-DS-like database instance."""
+    database = Database(config=config, name="TPCDS")
+    for schema in tpcds_schemas():
+        database.create_table(schema)
+
+    rng = random.Random(seed)
+    sizes = table_sizes(scale)
+
+    _load_date_dim(database, sizes["DATE_DIM"])
+    _load_item(database, rng, sizes["ITEM"])
+    _load_customer_address(database, rng, sizes["CUSTOMER_ADDRESS"])
+    _load_customer_demographics(database, sizes["CUSTOMER_DEMOGRAPHICS"])
+    _load_customer(database, rng, sizes["CUSTOMER"], sizes["CUSTOMER_ADDRESS"], sizes["CUSTOMER_DEMOGRAPHICS"])
+    _load_store(database, rng, sizes["STORE"])
+    _load_promotion(database, rng, sizes["PROMOTION"])
+    _load_sales(database, rng, sizes)
+    return database
+
+
+# ---------------------------------------------------------------------------
+
+
+def _load_date_dim(database: Database, days: int) -> None:
+    rows = []
+    for day in range(days):
+        year = 1999 + day // 365
+        rows.append(
+            {
+                "d_date_sk": day,
+                "d_date": 10_000 + day,
+                "d_year": year,
+                "d_moy": (day % 365) // 30 + 1,
+                "d_qoy": ((day % 365) // 91) + 1,
+            }
+        )
+    database.load_rows("DATE_DIM", rows)
+
+
+def _load_item(database: Database, rng: random.Random, count: int) -> None:
+    rows = []
+    for item_sk in range(count):
+        # Categories are skewed: low category indexes are far more common.
+        category_index = _zipf_choice(rng, len(ITEM_CATEGORIES), skew=1.4)
+        category = ITEM_CATEGORIES[category_index]
+        # i_class is functionally determined by i_category (correlation).
+        class_name = f"{category.lower()}_class_{item_sk % ITEM_CLASSES_PER_CATEGORY}"
+        rows.append(
+            {
+                "i_item_sk": item_sk,
+                "i_item_desc": f"item description {item_sk}",
+                "i_category": category,
+                "i_class": class_name,
+                "i_brand": f"brand_{category_index}_{item_sk % 10}",
+                "i_current_price": round(rng.uniform(0.5, 300.0), 2),
+            }
+        )
+    database.load_rows("ITEM", rows)
+
+
+def _load_customer_address(database: Database, rng: random.Random, count: int) -> None:
+    rows = []
+    for address_sk in range(count):
+        state_index = _zipf_choice(rng, len(CUSTOMER_STATES), skew=1.3)
+        rows.append(
+            {
+                "ca_address_sk": address_sk,
+                "ca_state": CUSTOMER_STATES[state_index],
+                "ca_city": f"city_{address_sk % 120}",
+                "ca_gmt_offset": -5 - (state_index % 4),
+            }
+        )
+    database.load_rows("CUSTOMER_ADDRESS", rows)
+
+
+def _load_customer_demographics(database: Database, count: int) -> None:
+    genders = ["M", "F"]
+    marital = ["S", "M", "D", "W"]
+    education = ["Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree"]
+    rows = []
+    for demo_sk in range(count):
+        rows.append(
+            {
+                "cd_demo_sk": demo_sk,
+                "cd_gender": genders[demo_sk % 2],
+                "cd_marital_status": marital[(demo_sk // 2) % 4],
+                "cd_education_status": education[(demo_sk // 8) % 6],
+                "cd_dep_count": demo_sk % 7,
+            }
+        )
+    database.load_rows("CUSTOMER_DEMOGRAPHICS", rows)
+
+
+def _load_customer(
+    database: Database,
+    rng: random.Random,
+    count: int,
+    address_count: int,
+    demo_count: int,
+) -> None:
+    rows = []
+    for customer_sk in range(count):
+        rows.append(
+            {
+                "c_customer_sk": customer_sk,
+                "c_current_addr_sk": _zipf_choice(rng, address_count, skew=1.1),
+                "c_current_cdemo_sk": rng.randrange(demo_count),
+                "c_birth_year": rng.randint(1930, 2002),
+                "c_preferred_cust_flag": "Y" if rng.random() < 0.3 else "N",
+            }
+        )
+    database.load_rows("CUSTOMER", rows)
+
+
+def _load_store(database: Database, rng: random.Random, count: int) -> None:
+    database.load_rows(
+        "STORE",
+        [
+            {
+                "s_store_sk": store_sk,
+                "s_state": CUSTOMER_STATES[store_sk % len(CUSTOMER_STATES)],
+                "s_number_employees": rng.randint(50, 300),
+            }
+            for store_sk in range(count)
+        ],
+    )
+
+
+def _load_promotion(database: Database, rng: random.Random, count: int) -> None:
+    database.load_rows(
+        "PROMOTION",
+        [
+            {
+                "p_promo_sk": promo_sk,
+                "p_channel_email": "Y" if promo_sk % 3 == 0 else "N",
+                "p_channel_tv": "Y" if promo_sk % 5 == 0 else "N",
+            }
+            for promo_sk in range(count)
+        ],
+    )
+
+
+def _sale_date(rng: random.Random, days: int) -> int:
+    """Sale dates cluster heavily in the final year of the calendar."""
+    if rng.random() < RECENT_SALES_FRACTION:
+        return rng.randint(days - 365, days - 1)
+    return rng.randint(0, days - 366)
+
+
+def _load_sales(database: Database, rng: random.Random, sizes: Dict[str, int]) -> None:
+    days = sizes["DATE_DIM"]
+    item_count = sizes["ITEM"]
+    customer_count = sizes["CUSTOMER"]
+    address_count = sizes["CUSTOMER_ADDRESS"]
+    demo_count = sizes["CUSTOMER_DEMOGRAPHICS"]
+    store_count = sizes["STORE"]
+    promo_count = sizes["PROMOTION"]
+
+    store_sales = []
+    for _ in range(sizes["STORE_SALES"]):
+        price = round(rng.uniform(1.0, 250.0), 2)
+        store_sales.append(
+            {
+                "ss_sold_date_sk": _sale_date(rng, days),
+                "ss_item_sk": _zipf_choice(rng, item_count, skew=1.2),
+                "ss_customer_sk": _zipf_choice(rng, customer_count, skew=1.1),
+                "ss_cdemo_sk": rng.randrange(demo_count),
+                "ss_addr_sk": _zipf_choice(rng, address_count, skew=1.2),
+                "ss_store_sk": rng.randrange(store_count),
+                "ss_promo_sk": rng.randrange(promo_count),
+                "ss_quantity": rng.randint(1, 20),
+                "ss_sales_price": price,
+                "ss_net_profit": round(price * rng.uniform(-0.2, 0.4), 2),
+            }
+        )
+    # Physical order by date: date-key indexes clustered, item-key indexes not.
+    store_sales.sort(key=lambda row: row["ss_sold_date_sk"])
+    database.load_rows("STORE_SALES", store_sales)
+
+    catalog_sales = []
+    for _ in range(sizes["CATALOG_SALES"]):
+        sold = _sale_date(rng, days)
+        price = round(rng.uniform(1.0, 400.0), 2)
+        catalog_sales.append(
+            {
+                "cs_sold_date_sk": sold,
+                "cs_ship_date_sk": min(days - 1, sold + rng.randint(1, 30)),
+                "cs_item_sk": _zipf_choice(rng, item_count, skew=1.25),
+                "cs_bill_customer_sk": _zipf_choice(rng, customer_count, skew=1.15),
+                "cs_bill_cdemo_sk": rng.randrange(demo_count),
+                "cs_bill_addr_sk": _zipf_choice(rng, address_count, skew=1.25),
+                "cs_promo_sk": rng.randrange(promo_count),
+                "cs_quantity": rng.randint(1, 40),
+                "cs_sales_price": price,
+                "cs_net_profit": round(price * rng.uniform(-0.1, 0.5), 2),
+            }
+        )
+    catalog_sales.sort(key=lambda row: row["cs_sold_date_sk"])
+    database.load_rows("CATALOG_SALES", catalog_sales)
+
+    web_sales = []
+    for _ in range(sizes["WEB_SALES"]):
+        price = round(rng.uniform(1.0, 500.0), 2)
+        web_sales.append(
+            {
+                "ws_sold_date_sk": _sale_date(rng, days),
+                "ws_item_sk": _zipf_choice(rng, item_count, skew=1.3),
+                "ws_bill_customer_sk": _zipf_choice(rng, customer_count, skew=1.2),
+                "ws_bill_addr_sk": _zipf_choice(rng, address_count, skew=1.3),
+                "ws_promo_sk": rng.randrange(promo_count),
+                "ws_quantity": rng.randint(1, 10),
+                "ws_sales_price": price,
+                "ws_net_profit": round(price * rng.uniform(-0.3, 0.6), 2),
+            }
+        )
+    web_sales.sort(key=lambda row: row["ws_sold_date_sk"])
+    database.load_rows("WEB_SALES", web_sales)

@@ -1,0 +1,128 @@
+"""The 99-query TPC-DS-like workload.
+
+Queries are generated deterministically from the star-schema model: each joins
+one of the three sales facts to a random subset of its dimensions, applies
+local predicates on some dimensions, aggregates and groups -- the analytic
+shape of TPC-DS and of the examples in the paper (Figures 3, 4, 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.generator import (
+    DimensionLink,
+    FactTable,
+    PredicateTemplate,
+    StarQueryGenerator,
+    StarSchemaModel,
+    equality_predicate,
+    numeric_range_predicate,
+    threshold_predicate,
+)
+from repro.workloads.tpcds.schema import CUSTOMER_STATES, ITEM_CATEGORIES
+
+
+def tpcds_model() -> StarSchemaModel:
+    """The star-schema description driving the TPC-DS-like query generator."""
+    date_years = (1999, 2018)
+
+    item_predicates = [
+        PredicateTemplate("ITEM", equality_predicate("i_category", ITEM_CATEGORIES)),
+        PredicateTemplate(
+            "ITEM",
+            equality_predicate(
+                "i_class", [f"{c.lower()}_class_1" for c in ITEM_CATEGORIES[:4]]
+            ),
+        ),
+    ]
+    date_predicates = [
+        PredicateTemplate("DATE_DIM", threshold_predicate("d_year", *date_years)),
+        PredicateTemplate("DATE_DIM", numeric_range_predicate("d_date_sk", 0, 7304)),
+        PredicateTemplate("DATE_DIM", equality_predicate("d_moy", [str(m) for m in range(1, 13)])),
+    ]
+    address_predicates = [
+        PredicateTemplate("CUSTOMER_ADDRESS", equality_predicate("ca_state", CUSTOMER_STATES)),
+    ]
+    demo_predicates = [
+        PredicateTemplate("CUSTOMER_DEMOGRAPHICS", equality_predicate("cd_gender", ["M", "F"])),
+        PredicateTemplate(
+            "CUSTOMER_DEMOGRAPHICS", equality_predicate("cd_marital_status", ["S", "M", "D", "W"])
+        ),
+    ]
+    store_predicates = [
+        PredicateTemplate("STORE", equality_predicate("s_state", CUSTOMER_STATES[:5])),
+    ]
+    customer_predicates = [
+        PredicateTemplate("CUSTOMER", threshold_predicate("c_birth_year", 1950, 1995)),
+        PredicateTemplate("CUSTOMER", equality_predicate("c_preferred_cust_flag", ["Y", "N"])),
+    ]
+
+    store_sales = FactTable(
+        name="STORE_SALES",
+        links=[
+            DimensionLink("ITEM", "ss_item_sk", "i_item_sk"),
+            DimensionLink("DATE_DIM", "ss_sold_date_sk", "d_date_sk"),
+            DimensionLink("CUSTOMER", "ss_customer_sk", "c_customer_sk"),
+            DimensionLink("CUSTOMER_DEMOGRAPHICS", "ss_cdemo_sk", "cd_demo_sk"),
+            DimensionLink("CUSTOMER_ADDRESS", "ss_addr_sk", "ca_address_sk"),
+            DimensionLink("STORE", "ss_store_sk", "s_store_sk"),
+            DimensionLink("PROMOTION", "ss_promo_sk", "p_promo_sk"),
+        ],
+        measures=["ss_sales_price", "ss_net_profit", "ss_quantity"],
+    )
+    catalog_sales = FactTable(
+        name="CATALOG_SALES",
+        links=[
+            DimensionLink("ITEM", "cs_item_sk", "i_item_sk"),
+            DimensionLink("DATE_DIM", "cs_sold_date_sk", "d_date_sk"),
+            DimensionLink("CUSTOMER", "cs_bill_customer_sk", "c_customer_sk"),
+            DimensionLink("CUSTOMER_DEMOGRAPHICS", "cs_bill_cdemo_sk", "cd_demo_sk"),
+            DimensionLink("CUSTOMER_ADDRESS", "cs_bill_addr_sk", "ca_address_sk"),
+            DimensionLink("PROMOTION", "cs_promo_sk", "p_promo_sk"),
+        ],
+        measures=["cs_sales_price", "cs_net_profit", "cs_quantity"],
+    )
+    web_sales = FactTable(
+        name="WEB_SALES",
+        links=[
+            DimensionLink("ITEM", "ws_item_sk", "i_item_sk"),
+            DimensionLink("DATE_DIM", "ws_sold_date_sk", "d_date_sk"),
+            DimensionLink("CUSTOMER", "ws_bill_customer_sk", "c_customer_sk"),
+            DimensionLink("CUSTOMER_ADDRESS", "ws_bill_addr_sk", "ca_address_sk"),
+            DimensionLink("PROMOTION", "ws_promo_sk", "p_promo_sk"),
+        ],
+        measures=["ws_sales_price", "ws_net_profit", "ws_quantity"],
+    )
+
+    return StarSchemaModel(
+        facts=[store_sales, catalog_sales, web_sales],
+        descriptive_columns={
+            "ITEM": ["i_category", "i_class"],
+            "DATE_DIM": ["d_year", "d_moy"],
+            "CUSTOMER_ADDRESS": ["ca_state"],
+            "CUSTOMER_DEMOGRAPHICS": ["cd_gender", "cd_marital_status"],
+            "STORE": ["s_state"],
+        },
+        dimension_predicates={
+            "ITEM": item_predicates,
+            "DATE_DIM": date_predicates,
+            "CUSTOMER_ADDRESS": address_predicates,
+            "CUSTOMER_DEMOGRAPHICS": demo_predicates,
+            "STORE": store_predicates,
+            "CUSTOMER": customer_predicates,
+        },
+        snowflake_links={
+            "CUSTOMER": [
+                DimensionLink("CUSTOMER_ADDRESS", "c_current_addr_sk", "ca_address_sk"),
+                DimensionLink("CUSTOMER_DEMOGRAPHICS", "c_current_cdemo_sk", "cd_demo_sk"),
+            ],
+        },
+    )
+
+
+def generate_tpcds_queries(count: int = 99, seed: int = 42) -> List[Tuple[str, str]]:
+    """Generate the TPC-DS-like workload queries as ``(name, sql)`` pairs."""
+    generator = StarQueryGenerator(tpcds_model(), seed=seed)
+    queries = generator.generate(count, min_dimensions=1, max_dimensions=5)
+    return [(query.name, query.sql) for query in queries]

@@ -1,0 +1,175 @@
+"""TPC-DS-like schema: three sales facts and their dimensions.
+
+The schema keeps TPC-DS's naming conventions (``ss_``, ``cs_``, ``ws_``, ``i_``,
+``d_``, ``c_``, ``ca_``, ``cd_`` prefixes) so the queries in the paper's
+figures read naturally.  Index cluster ratios are chosen to reproduce the
+paper's access-path pathologies: fact tables are physically ordered by sale
+date, so their date-key indexes are well clustered while the item / customer
+foreign-key indexes are poorly clustered (the Figure 4 flooding pattern).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.schema import Index, TableSchema, make_schema
+from repro.engine.types import DataType
+
+
+def tpcds_schemas() -> List[TableSchema]:
+    """All table schemas of the TPC-DS-like workload."""
+    integer = DataType.INTEGER
+    decimal = DataType.DECIMAL
+    varchar = DataType.VARCHAR
+    date = DataType.DATE
+
+    schemas = [
+        make_schema(
+            "STORE_SALES",
+            [
+                ("ss_sold_date_sk", integer),
+                ("ss_item_sk", integer),
+                ("ss_customer_sk", integer),
+                ("ss_cdemo_sk", integer),
+                ("ss_addr_sk", integer),
+                ("ss_store_sk", integer),
+                ("ss_promo_sk", integer),
+                ("ss_quantity", integer),
+                ("ss_sales_price", decimal),
+                ("ss_net_profit", decimal),
+            ],
+            [
+                Index("SS_SOLD_DATE_IDX", "STORE_SALES", "ss_sold_date_sk", cluster_ratio=0.97),
+                Index("SS_ITEM_IDX", "STORE_SALES", "ss_item_sk", cluster_ratio=0.18),
+                Index("SS_CUSTOMER_IDX", "STORE_SALES", "ss_customer_sk", cluster_ratio=0.22),
+                Index("SS_CDEMO_IDX", "STORE_SALES", "ss_cdemo_sk", cluster_ratio=0.15),
+                Index("SS_ADDR_IDX", "STORE_SALES", "ss_addr_sk", cluster_ratio=0.2),
+            ],
+        ),
+        make_schema(
+            "CATALOG_SALES",
+            [
+                ("cs_sold_date_sk", integer),
+                ("cs_ship_date_sk", integer),
+                ("cs_item_sk", integer),
+                ("cs_bill_customer_sk", integer),
+                ("cs_bill_cdemo_sk", integer),
+                ("cs_bill_addr_sk", integer),
+                ("cs_promo_sk", integer),
+                ("cs_quantity", integer),
+                ("cs_sales_price", decimal),
+                ("cs_net_profit", decimal),
+            ],
+            [
+                Index("CS_SOLD_DATE_IDX", "CATALOG_SALES", "cs_sold_date_sk", cluster_ratio=0.96),
+                Index("CS_ITEM_IDX", "CATALOG_SALES", "cs_item_sk", cluster_ratio=0.16),
+                Index("CS_CUSTOMER_IDX", "CATALOG_SALES", "cs_bill_customer_sk", cluster_ratio=0.2),
+                Index("CS_ADDR_IDX", "CATALOG_SALES", "cs_bill_addr_sk", cluster_ratio=0.18),
+            ],
+        ),
+        make_schema(
+            "WEB_SALES",
+            [
+                ("ws_sold_date_sk", integer),
+                ("ws_item_sk", integer),
+                ("ws_bill_customer_sk", integer),
+                ("ws_bill_addr_sk", integer),
+                ("ws_promo_sk", integer),
+                ("ws_quantity", integer),
+                ("ws_sales_price", decimal),
+                ("ws_net_profit", decimal),
+            ],
+            [
+                Index("WS_SOLD_DATE_IDX", "WEB_SALES", "ws_sold_date_sk", cluster_ratio=0.95),
+                Index("WS_ITEM_IDX", "WEB_SALES", "ws_item_sk", cluster_ratio=0.2),
+                Index("WS_CUSTOMER_IDX", "WEB_SALES", "ws_bill_customer_sk", cluster_ratio=0.25),
+            ],
+        ),
+        make_schema(
+            "ITEM",
+            [
+                ("i_item_sk", integer),
+                ("i_item_desc", varchar),
+                ("i_category", varchar),
+                ("i_class", varchar),
+                ("i_brand", varchar),
+                ("i_current_price", decimal),
+            ],
+            [Index("I_ITEM_PK", "ITEM", "i_item_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "DATE_DIM",
+            [
+                ("d_date_sk", integer),
+                ("d_date", date),
+                ("d_year", integer),
+                ("d_moy", integer),
+                ("d_qoy", integer),
+            ],
+            [
+                Index("D_DATE_PK", "DATE_DIM", "d_date_sk", unique=True, cluster_ratio=0.99),
+                Index("D_DATE_IDX", "DATE_DIM", "d_date", cluster_ratio=0.99),
+            ],
+        ),
+        make_schema(
+            "CUSTOMER",
+            [
+                ("c_customer_sk", integer),
+                ("c_current_addr_sk", integer),
+                ("c_current_cdemo_sk", integer),
+                ("c_birth_year", integer),
+                ("c_preferred_cust_flag", varchar),
+            ],
+            [
+                Index("C_CUSTOMER_PK", "CUSTOMER", "c_customer_sk", unique=True, cluster_ratio=0.99),
+                Index("C_ADDR_IDX", "CUSTOMER", "c_current_addr_sk", cluster_ratio=0.3),
+            ],
+        ),
+        make_schema(
+            "CUSTOMER_ADDRESS",
+            [
+                ("ca_address_sk", integer),
+                ("ca_state", varchar),
+                ("ca_city", varchar),
+                ("ca_gmt_offset", integer),
+            ],
+            [Index("CA_ADDRESS_PK", "CUSTOMER_ADDRESS", "ca_address_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "CUSTOMER_DEMOGRAPHICS",
+            [
+                ("cd_demo_sk", integer),
+                ("cd_gender", varchar),
+                ("cd_marital_status", varchar),
+                ("cd_education_status", varchar),
+                ("cd_dep_count", integer),
+            ],
+            [Index("CD_DEMO_PK", "CUSTOMER_DEMOGRAPHICS", "cd_demo_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "STORE",
+            [
+                ("s_store_sk", integer),
+                ("s_state", varchar),
+                ("s_number_employees", integer),
+            ],
+            [Index("S_STORE_PK", "STORE", "s_store_sk", unique=True, cluster_ratio=0.99)],
+        ),
+        make_schema(
+            "PROMOTION",
+            [
+                ("p_promo_sk", integer),
+                ("p_channel_email", varchar),
+                ("p_channel_tv", varchar),
+            ],
+            [Index("P_PROMO_PK", "PROMOTION", "p_promo_sk", unique=True, cluster_ratio=0.99)],
+        ),
+    ]
+    return schemas
+
+
+#: Item categories (and the classes each category determines -- a deliberate
+#: correlation that breaks the optimizer's independence assumption).
+ITEM_CATEGORIES = ["Jewelry", "Music", "Books", "Sports", "Home", "Electronics", "Shoes", "Women"]
+ITEM_CLASSES_PER_CATEGORY = 4
+CUSTOMER_STATES = ["CA", "TX", "NY", "FL", "IL", "OH", "WA", "GA", "MI", "NC"]

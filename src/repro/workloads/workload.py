@@ -1,0 +1,60 @@
+"""Workload handles: a populated database plus its query set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+
+
+@dataclass
+class Workload:
+    """A named workload: its database instance and its (name, sql) query list."""
+
+    name: str
+    database: Database
+    queries: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    def query(self, name: str) -> str:
+        for query_name, sql in self.queries:
+            if query_name == name:
+                return sql
+        raise KeyError(f"workload {self.name!r} has no query {name!r}")
+
+    def subset(self, count: int) -> "Workload":
+        """A workload view restricted to the first ``count`` queries."""
+        return Workload(name=self.name, database=self.database, queries=self.queries[:count])
+
+
+def load_workload(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 42,
+    query_count: Optional[int] = None,
+    config: Optional[DbConfig] = None,
+) -> Workload:
+    """Build one of the two named workloads (``"tpcds"`` or ``"client"``).
+
+    ``scale`` multiplies table sizes; ``query_count`` trims the query set
+    (defaults: 99 TPC-DS queries, 116 client queries, as in the paper).
+    """
+    key = name.lower()
+    if key in ("tpcds", "tpc-ds"):
+        from repro.workloads.tpcds import build_tpcds_database, generate_tpcds_queries
+
+        database = build_tpcds_database(scale=scale, seed=seed, config=config)
+        queries = generate_tpcds_queries(count=query_count or 99, seed=seed)
+        return Workload(name="TPC-DS", database=database, queries=queries)
+    if key in ("client", "ibm-client", "ibm"):
+        from repro.workloads.client import build_client_database, generate_client_queries
+
+        database = build_client_database(scale=scale, seed=seed, config=config)
+        queries = generate_client_queries(count=query_count or 116, seed=seed)
+        return Workload(name="IBM-client", database=database, queries=queries)
+    raise ValueError(f"unknown workload {name!r} (expected 'tpcds' or 'client')")

@@ -1,0 +1,103 @@
+"""End-to-end integration tests for GALO over the synthetic workloads."""
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.learning.engine import LearningConfig
+from repro.core.matching.engine import MatchingConfig
+
+
+@pytest.fixture(scope="module")
+def learned_tpcds(tiny_tpcds_workload):
+    """Learn over the first few TPC-DS queries once for the whole module."""
+    galo = Galo(
+        tiny_tpcds_workload.database,
+        learning_config=LearningConfig(
+            max_joins=2, random_plans_per_subquery=4, max_variants=2
+        ),
+        matching_config=MatchingConfig(max_joins=2),
+    )
+    report = galo.learn(tiny_tpcds_workload.queries[:8], workload_name="TPC-DS")
+    return galo, report
+
+
+class TestOfflineLearning:
+    def test_templates_learned(self, learned_tpcds):
+        galo, report = learned_tpcds
+        assert report.template_count == galo.template_count
+        assert galo.template_count > 0
+
+    def test_report_statistics_consistent(self, learned_tpcds):
+        _, report = learned_tpcds
+        assert len(report.records) == 8
+        assert report.average_seconds_per_query > 0
+        assert report.average_seconds_per_subquery > 0
+        assert 0.0 < report.average_improvement <= 1.0
+
+    def test_templates_record_provenance(self, learned_tpcds):
+        galo, _ = learned_tpcds
+        for template in galo.knowledge_base.all_templates():
+            assert template.source_workload == "TPC-DS"
+            assert template.join_count >= 1
+            assert template.improvement > 0
+
+    def test_knowledge_base_round_trip(self, learned_tpcds, tmp_path):
+        galo, _ = learned_tpcds
+        galo.save_knowledge_base(str(tmp_path))
+        loaded = KnowledgeBase.load(str(tmp_path))
+        assert len(loaded) == galo.template_count
+
+
+class TestOnlineReoptimization:
+    def test_workload_reoptimization_never_hurts_changed_plans(
+        self, learned_tpcds, tiny_tpcds_workload
+    ):
+        galo, _ = learned_tpcds
+        results = galo.reoptimize_workload(tiny_tpcds_workload.queries[:12])
+        assert len(results) == 12
+        changed = [result for result in results if result.plan_changed]
+        for result in changed:
+            # Simulated runtimes are deterministic: a re-optimized plan must
+            # not be more than marginally slower than the original.
+            assert result.reoptimized_elapsed_ms <= result.original_elapsed_ms * 1.10
+
+    def test_some_queries_match_and_improve(self, learned_tpcds, tiny_tpcds_workload):
+        galo, _ = learned_tpcds
+        results = galo.reoptimize_workload(tiny_tpcds_workload.queries[:12])
+        improved = [r for r in results if r.plan_changed and r.improvement > 0]
+        assert improved, "expected at least one matched query to improve"
+
+    def test_match_times_are_reported(self, learned_tpcds, tiny_tpcds_workload):
+        galo, _ = learned_tpcds
+        result = galo.reoptimize(tiny_tpcds_workload.queries[0][1], query_name="query1")
+        assert result.match_time_ms > 0
+
+    def test_unmatched_query_unchanged(self, learned_tpcds, tiny_tpcds_workload):
+        galo, _ = learned_tpcds
+        sql = "SELECT s_state FROM store WHERE s_number_employees >= 100"
+        result = galo.reoptimize(sql, query_name="single-table")
+        assert not result.was_reoptimized
+        assert result.original_qgm is result.reoptimized_qgm
+
+
+class TestCrossWorkloadReuse:
+    def test_tpcds_templates_can_match_client_queries(
+        self, learned_tpcds, tiny_client_workload
+    ):
+        """Exp-2's reuse claim: templates learned on one workload apply to another."""
+        galo_tpcds, _ = learned_tpcds
+        shared_kb = galo_tpcds.knowledge_base
+        client_galo = Galo(
+            tiny_client_workload.database,
+            knowledge_base=shared_kb,
+            matching_config=MatchingConfig(max_joins=2),
+        )
+        matched = 0
+        for name, sql in tiny_client_workload.queries:
+            result = client_galo.reoptimize(sql, query_name=name, execute=False)
+            if result.was_reoptimized:
+                matched += 1
+        # Cross-schema matching is rarer than same-workload matching, but the
+        # canonical-label abstraction must make it possible at least sometimes.
+        assert matched >= 1

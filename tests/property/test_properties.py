@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.learning.ranking import kmeans_two_clusters
+from repro.engine.expressions import Between, ColumnRef, Comparison, InList, Literal
+from repro.engine.statistics import collect_column_statistics
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.terms import IRI, Literal as RdfLiteral
+
+DEFAULT_SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+REF = ColumnRef("T", "x")
+
+
+@DEFAULT_SETTINGS
+@given(value=st.integers(-1000, 1000), bound=st.integers(-1000, 1000))
+def test_comparison_matches_python_semantics(value, bound):
+    row = {"T.x": value}
+    assert Comparison("<", REF, Literal(bound)).evaluate(row) == (value < bound)
+    assert Comparison("<=", REF, Literal(bound)).evaluate(row) == (value <= bound)
+    assert Comparison(">", REF, Literal(bound)).evaluate(row) == (value > bound)
+    assert Comparison(">=", REF, Literal(bound)).evaluate(row) == (value >= bound)
+    assert Comparison("=", REF, Literal(bound)).evaluate(row) == (value == bound)
+    assert Comparison("<>", REF, Literal(bound)).evaluate(row) == (value != bound)
+
+
+@DEFAULT_SETTINGS
+@given(value=st.integers(-100, 100), low=st.integers(-100, 100), high=st.integers(-100, 100))
+def test_between_equals_two_comparisons(value, low, high):
+    row = {"T.x": value}
+    between = Between(REF, Literal(low), Literal(high)).evaluate(row)
+    pair = (
+        Comparison(">=", REF, Literal(low)).evaluate(row)
+        and Comparison("<=", REF, Literal(high)).evaluate(row)
+    )
+    assert between == pair
+
+
+@DEFAULT_SETTINGS
+@given(value=st.integers(0, 20), members=st.lists(st.integers(0, 20), max_size=8))
+def test_in_list_matches_python_membership(value, members):
+    row = {"T.x": value}
+    assert InList(REF, tuple(members)).evaluate(row) == (value in members)
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+
+
+@DEFAULT_SETTINGS
+@given(values=st.lists(st.integers(-500, 500), min_size=1, max_size=300))
+def test_equality_selectivity_is_a_probability(values):
+    stats = collect_column_statistics("c", values)
+    for probe in set(values[:10]) | {9999}:
+        selectivity = stats.selectivity_equals(probe)
+        assert 0.0 <= selectivity <= 1.0
+
+
+@DEFAULT_SETTINGS
+@given(values=st.lists(st.integers(-500, 500), min_size=2, max_size=300),
+       low=st.integers(-600, 600), high=st.integers(-600, 600))
+def test_range_selectivity_is_a_probability_and_monotone(values, low, high):
+    stats = collect_column_statistics("c", values)
+    selectivity = stats.selectivity_range(min(low, high), max(low, high))
+    assert 0.0 <= selectivity <= 1.0
+    # Widening the range can never reduce the selectivity estimate.
+    wider = stats.selectivity_range(min(low, high) - 100, max(low, high) + 100)
+    assert wider >= selectivity - 1e-9
+
+
+@DEFAULT_SETTINGS
+@given(values=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_frequent_value_selectivities_sum_below_one(values):
+    stats = collect_column_statistics("c", values)
+    total = sum(stats.selectivity_equals(value) for value, _ in stats.frequent_values)
+    assert total <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# RDF graph
+# ---------------------------------------------------------------------------
+
+_iris = st.text(alphabet="abcdefghij", min_size=1, max_size=6).map(
+    lambda s: IRI(f"http://x/{s}")
+)
+_literals = st.one_of(
+    st.integers(-1000, 1000).map(RdfLiteral),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+            max_size=12).map(RdfLiteral),
+)
+_triples = st.tuples(_iris, _iris, st.one_of(_iris, _literals)).map(
+    lambda t: Triple(t[0], t[1], t[2])
+)
+
+
+@DEFAULT_SETTINGS
+@given(triples=st.lists(_triples, max_size=40))
+def test_ntriples_round_trip(triples):
+    graph = Graph(triples)
+    parsed = Graph.from_ntriples(graph.to_ntriples())
+    assert len(parsed) == len(graph)
+    assert parsed.to_ntriples() == graph.to_ntriples()
+
+
+@DEFAULT_SETTINGS
+@given(triples=st.lists(_triples, max_size=40))
+def test_pattern_queries_consistent_with_full_scan(triples):
+    graph = Graph(triples)
+    for triple in list(graph)[:5]:
+        assert triple in set(graph.triples(triple.subject, None, None))
+        assert triple in set(graph.triples(None, triple.predicate, None))
+        assert triple in set(graph.triples(None, None, triple.object))
+        assert set(graph.triples(triple.subject, triple.predicate, triple.object)) == {triple}
+
+
+# ---------------------------------------------------------------------------
+# K-means ranking
+# ---------------------------------------------------------------------------
+
+
+@DEFAULT_SETTINGS
+@given(values=st.lists(st.floats(min_value=0.1, max_value=1e4, allow_nan=False), min_size=1, max_size=40))
+def test_kmeans_assignments_cover_all_points(values):
+    assignments, centroids = kmeans_two_clusters(values)
+    assert len(assignments) == len(values)
+    assert set(assignments) <= {0, 1}
+    assert centroids[0] <= centroids[1]
+    # Every prospective (cluster 0) value is no larger than every anomaly value's centroid.
+    zero_values = [v for v, a in zip(values, assignments) if a == 0]
+    one_values = [v for v, a in zip(values, assignments) if a == 1]
+    if zero_values and one_values:
+        assert max(zero_values) <= max(one_values)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: random workload queries parse, bind, optimize, and the plan
+# covers exactly the query's tables
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_generated_tpcds_queries_always_plan(seed, tiny_tpcds_workload):
+    from repro.workloads.tpcds.queries import tpcds_model
+    from repro.workloads.generator import StarQueryGenerator
+
+    generator = StarQueryGenerator(tpcds_model(), seed=seed)
+    query = generator.generate(1)[0]
+    qgm = tiny_tpcds_workload.database.explain(query.sql)
+    planned_tables = {scan.table for scan in qgm.scans()}
+    assert query.fact in planned_tables
+    assert planned_tables == {query.fact} | set(query.dimensions)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_random_plans_agree_with_optimizer_plan_results(seed, mini_db):
+    """All valid plans for the same query return the same result multiset."""
+    sql = (
+        "SELECT i_category, COUNT(*) FROM sales, item, date_dim "
+        "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND d_year >= 2018 "
+        "GROUP BY i_category"
+    )
+    reference = mini_db.execute_sql(sql)
+    generator = mini_db.random_plan_generator
+    original_seed = generator.seed
+    try:
+        generator.seed = seed
+        plans = generator.generate(mini_db.bind(sql), 2)
+    finally:
+        generator.seed = original_seed
+    reference_counter = Counter(tuple(sorted(row.items())) for row in reference.rows)
+    for plan in plans:
+        rows = mini_db.execute_plan(plan).rows
+        assert Counter(tuple(sorted(row.items())) for row in rows) == reference_counter

@@ -1,0 +1,132 @@
+"""Unit tests for the SQL binder."""
+
+import pytest
+
+from repro.engine.expressions import Between, ColumnRef, Comparison, InList, IsNull
+from repro.engine.sql.binder import bind
+from repro.engine.sql.parser import parse_select
+from repro.errors import BindError
+
+
+def bind_sql(db, sql):
+    return bind(parse_select(sql), db.catalog, sql)
+
+
+class TestTableBinding:
+    def test_tables_and_aliases(self, mini_db):
+        query = bind_sql(mini_db, "SELECT s_price FROM sales s, item i WHERE s.s_item_sk = i.i_item_sk")
+        assert query.aliases == ["S", "I"]
+        assert query.table_for_alias("S").table == "SALES"
+
+    def test_default_alias_is_table_name(self, mini_db):
+        query = bind_sql(mini_db, "SELECT s_price FROM sales")
+        assert query.aliases == ["SALES"]
+
+    def test_unknown_table_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_sql(mini_db, "SELECT x FROM missing_table")
+
+    def test_duplicate_alias_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_sql(mini_db, "SELECT s_price FROM sales s, item s")
+
+
+class TestColumnResolution:
+    def test_unqualified_column_resolved(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_category FROM item")
+        assert query.select_items[0].column == ColumnRef("ITEM", "i_category")
+
+    def test_qualified_column_resolved(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i.i_category FROM item i")
+        assert query.select_items[0].column == ColumnRef("I", "i_category")
+
+    def test_unknown_column_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_sql(mini_db, "SELECT bogus_column FROM item")
+
+    def test_unknown_alias_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_sql(mini_db, "SELECT zz.i_category FROM item i")
+
+    def test_aggregate_output_name(self, mini_db):
+        query = bind_sql(mini_db, "SELECT COUNT(*), SUM(s_price) FROM sales")
+        assert query.select_items[0].output_name == "COUNT(*)"
+        assert query.select_items[1].is_aggregate
+
+
+class TestPredicateClassification:
+    def test_join_vs_local_predicates(self, mini_db):
+        query = bind_sql(
+            mini_db,
+            "SELECT i_category FROM sales, item "
+            "WHERE s_item_sk = i_item_sk AND i_category = 'Music' AND s_quantity > 2",
+        )
+        assert len(query.join_predicates) == 1
+        assert query.join_predicates[0].is_join_predicate
+        assert len(query.predicates_for("ITEM")) == 1
+        assert len(query.predicates_for("SALES")) == 1
+
+    def test_join_count(self, mini_db):
+        query = bind_sql(
+            mini_db,
+            "SELECT i_category FROM sales, item, date_dim "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk",
+        )
+        assert query.join_count == 2
+
+    def test_between_bound(self, mini_db):
+        query = bind_sql(mini_db, "SELECT d_year FROM date_dim WHERE d_date_sk BETWEEN 10 AND 20")
+        predicate = query.predicates_for("DATE_DIM")[0]
+        assert isinstance(predicate, Between)
+        assert predicate.low.value == 10
+
+    def test_in_list_bound(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_category FROM item WHERE i_category IN ('Music', 'Books')")
+        predicate = query.predicates_for("ITEM")[0]
+        assert isinstance(predicate, InList)
+        assert predicate.values == ("Music", "Books")
+
+    def test_is_null_bound(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_category FROM item WHERE i_class IS NULL")
+        assert isinstance(query.predicates_for("ITEM")[0], IsNull)
+
+    def test_like_prefix_becomes_range(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_category FROM item WHERE i_category LIKE 'Mu%'")
+        predicates = query.predicates_for("ITEM")
+        assert len(predicates) == 2
+        assert all(isinstance(p, Comparison) for p in predicates)
+
+    def test_like_without_wildcard_is_equality(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_category FROM item WHERE i_category LIKE 'Music'")
+        predicate = query.predicates_for("ITEM")[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == "="
+
+    def test_unsupported_like_pattern_rejected(self, mini_db):
+        with pytest.raises(BindError):
+            bind_sql(mini_db, "SELECT i_category FROM item WHERE i_category LIKE '%usic'")
+
+    def test_date_literal_coerced_to_ordinal(self, mini_db):
+        query = bind_sql(mini_db, "SELECT d_year FROM date_dim WHERE d_date = '1970-01-02'")
+        predicate = query.predicates_for("DATE_DIM")[0]
+        assert predicate.right.value == 1
+
+    def test_group_and_order_by_bound(self, mini_db):
+        query = bind_sql(
+            mini_db,
+            "SELECT i_category, COUNT(*) FROM sales, item WHERE s_item_sk = i_item_sk "
+            "GROUP BY i_category ORDER BY i_category",
+        )
+        assert query.group_by == [ColumnRef("ITEM", "i_category")]
+        assert query.order_by == [ColumnRef("ITEM", "i_category")]
+        assert query.has_aggregation
+
+    def test_joins_between_alias_sets(self, mini_db):
+        query = bind_sql(
+            mini_db,
+            "SELECT i_category FROM sales, item, date_dim "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk",
+        )
+        connecting = query.joins_between(frozenset({"SALES"}), frozenset({"ITEM"}))
+        assert len(connecting) == 1
+        assert query.joins_between(frozenset({"ITEM"}), frozenset({"DATE_DIM"})) == []

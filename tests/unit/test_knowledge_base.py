@@ -1,0 +1,156 @@
+"""Unit tests for the knowledge base and template matching."""
+
+import pytest
+
+from repro.core.knowledge_base import CardinalityBounds, KnowledgeBase
+from repro.core.planutils import canonical_label_map, join_tree_root, remap_guideline_document
+from repro.core.transform.sparql_gen import sparql_for_subplan
+from repro.engine.optimizer.guidelines import GuidelineDocument, guideline_from_plan, parse_guidelines
+
+SQL = (
+    "SELECT i_category, COUNT(*) FROM sales, item "
+    "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category"
+)
+
+
+def make_template(db, kb, sql=SQL, widen=2.0, improvement=0.4, name="t"):
+    """Store the optimizer's join tree for ``sql`` as a problem template."""
+    qgm = db.explain(sql)
+    problem_root = join_tree_root(qgm)
+    labels = canonical_label_map(problem_root)
+    bounds = {
+        node.operator_id: CardinalityBounds(
+            node.estimated_cardinality / widen, node.estimated_cardinality * widen
+        )
+        for node in problem_root.walk()
+    }
+    guideline = GuidelineDocument(elements=[guideline_from_plan(problem_root)])
+    remapped = remap_guideline_document(guideline, labels)
+    return kb.add_template(
+        name=name,
+        source_workload="unit",
+        source_query="q",
+        problem_root=problem_root.copy(),
+        guideline_xml=remapped.to_xml(),
+        canonical_labels=labels,
+        cardinality_bounds=bounds,
+        improvement=improvement,
+        catalog=db.catalog,
+    ), qgm
+
+
+class TestCardinalityBounds:
+    def test_widened(self):
+        bounds = CardinalityBounds(10, 100).widened(2.0)
+        assert bounds.lower == pytest.approx(5)
+        assert bounds.upper == pytest.approx(200)
+
+
+class TestTemplateStorage:
+    def test_add_template_registers_and_builds_graph(self, mini_db):
+        kb = KnowledgeBase()
+        template, _ = make_template(mini_db, kb)
+        assert len(kb) == 1
+        assert template.template_id in kb
+        assert len(kb.graph) > 10
+        assert kb.template(template.template_id).guideline_xml.startswith("<OPTGUIDELINES>")
+
+    def test_canonical_labels_abstract_tables(self, mini_db):
+        kb = KnowledgeBase()
+        template, _ = make_template(mini_db, kb)
+        assert set(template.canonical_labels.values()) == {"TABLE_1", "TABLE_2"}
+        assert "TABLE_1" in template.guideline_xml
+        assert "SALES" not in template.guideline_xml.upper().replace("TABLE_", "")
+
+    def test_serialization_round_trip(self, mini_db, tmp_path):
+        kb = KnowledgeBase()
+        template, _ = make_template(mini_db, kb)
+        kb.save(str(tmp_path))
+        loaded = KnowledgeBase.load(str(tmp_path))
+        assert len(loaded) == 1
+        assert loaded.template(template.template_id).canonical_labels == template.canonical_labels
+        assert len(loaded.graph) == len(kb.graph)
+
+    def test_to_dict_round_trip(self, mini_db):
+        kb = KnowledgeBase()
+        template, _ = make_template(mini_db, kb)
+        from repro.core.knowledge_base import ProblemPatternTemplate
+
+        clone = ProblemPatternTemplate.from_dict(template.to_dict())
+        assert clone.template_id == template.template_id
+        assert clone.cardinality_bounds == template.cardinality_bounds
+
+
+class TestTemplateMatching:
+    def test_same_plan_matches_its_own_template(self, mini_db):
+        kb = KnowledgeBase()
+        template, qgm = make_template(mini_db, kb)
+        segment = join_tree_root(qgm)
+        generated = sparql_for_subplan(segment, catalog=mini_db.catalog)
+        matches = kb.match(generated, subplan_root=segment)
+        assert len(matches) == 1
+        assert matches[0].template.template_id == template.template_id
+
+    def test_label_mapping_binds_table_instances(self, mini_db):
+        kb = KnowledgeBase()
+        template, qgm = make_template(mini_db, kb)
+        segment = join_tree_root(qgm)
+        matches = kb.match(sparql_for_subplan(segment, catalog=mini_db.catalog), subplan_root=segment)
+        label_to_alias = matches[0].label_to_alias
+        assert set(label_to_alias.keys()) == {"TABLE_1", "TABLE_2"}
+        assert set(label_to_alias.values()) == {"SALES", "ITEM"}
+
+    def test_remapped_guideline_targets_query_aliases(self, mini_db):
+        kb = KnowledgeBase()
+        template, qgm = make_template(mini_db, kb)
+        segment = join_tree_root(qgm)
+        match = kb.match(sparql_for_subplan(segment, catalog=mini_db.catalog), subplan_root=segment)[0]
+        document = parse_guidelines(match.template.guideline_xml)
+        remapped = remap_guideline_document(document, match.label_to_alias)
+        assert sorted(remapped.aliases()) == ["ITEM", "SALES"]
+
+    def test_cardinality_out_of_range_does_not_match(self, mini_db):
+        kb = KnowledgeBase()
+        # Template learned with extremely narrow bounds scaled away from reality.
+        qgm = mini_db.explain(SQL)
+        problem_root = join_tree_root(qgm)
+        labels = canonical_label_map(problem_root)
+        bounds = {
+            node.operator_id: CardinalityBounds(1e9, 2e9) for node in problem_root.walk()
+        }
+        kb.add_template(
+            name="narrow",
+            source_workload="unit",
+            source_query="q",
+            problem_root=problem_root.copy(),
+            guideline_xml=GuidelineDocument().to_xml(),
+            canonical_labels=labels,
+            cardinality_bounds=bounds,
+            improvement=0.5,
+            catalog=mini_db.catalog,
+        )
+        segment = join_tree_root(mini_db.explain(SQL))
+        matches = kb.match(sparql_for_subplan(segment, catalog=mini_db.catalog), subplan_root=segment)
+        assert matches == []
+
+    def test_different_structure_does_not_match(self, mini_db):
+        kb = KnowledgeBase()
+        make_template(mini_db, kb)  # 2-table pattern
+        three_way = (
+            "SELECT i_category, COUNT(*) FROM sales, item, date_dim "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk GROUP BY i_category"
+        )
+        segment = join_tree_root(mini_db.explain(three_way))
+        matches = kb.match(sparql_for_subplan(segment, catalog=mini_db.catalog), subplan_root=segment)
+        # The 3-table segment itself cannot match a 2-table template graph.
+        assert all(match.subplan_root is segment for match in matches)
+
+    def test_multiple_templates_deduplicated_per_match(self, mini_db):
+        kb = KnowledgeBase()
+        make_template(mini_db, kb, name="first")
+        make_template(mini_db, kb, name="second", improvement=0.7)
+        segment = join_tree_root(mini_db.explain(SQL))
+        matches = kb.match(sparql_for_subplan(segment, catalog=mini_db.catalog), subplan_root=segment)
+        assert len(matches) == 2
+        template_ids = {match.template.template_id for match in matches}
+        assert len(template_ids) == 2

@@ -1,0 +1,189 @@
+"""Unit tests for the learning engine building blocks and the engine itself."""
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.learning.engine import LearningConfig, LearningEngine
+from repro.core.learning.property_ranges import generate_variants
+from repro.core.learning.ranking import (
+    kmeans_two_clusters,
+    rank_measurements,
+    robust_elapsed_ms,
+)
+from repro.core.learning.subquery import generate_subqueries
+from repro.core.planutils import canonical_label_map, join_tree_root
+from repro.engine.executor.db2batch import Db2Batch
+from repro.engine.sql.binder import bind
+from repro.engine.sql.parser import parse_select
+
+
+def bind_sql(db, sql):
+    return bind(parse_select(sql), db.catalog, sql)
+
+
+FOUR_WAY = (
+    "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND s_outlet_sk = o_outlet_sk "
+    "AND i_category = 'Music' GROUP BY i_category, o_state"
+)
+
+
+class TestSubqueryGeneration:
+    def test_counts_by_threshold(self, mini_db):
+        query = bind_sql(mini_db, FOUR_WAY)
+        # 3 dims joined to 1 fact (star): connected pairs = 3, triples = 3, quads = 1
+        assert len(generate_subqueries(query, max_joins=1)) == 3
+        assert len(generate_subqueries(query, max_joins=2)) == 6
+        assert len(generate_subqueries(query, max_joins=3)) == 7
+
+    def test_subqueries_are_connected(self, mini_db):
+        query = bind_sql(mini_db, FOUR_WAY)
+        for subquery in generate_subqueries(query, max_joins=3):
+            assert subquery.query.join_predicates
+            assert subquery.join_count == len(subquery.aliases) - 1
+
+    def test_local_predicates_projected(self, mini_db):
+        query = bind_sql(mini_db, FOUR_WAY)
+        for subquery in generate_subqueries(query, max_joins=2):
+            if "ITEM" in subquery.aliases:
+                assert subquery.query.predicates_for("ITEM")
+
+    def test_rendered_sql_parses_and_binds(self, mini_db):
+        query = bind_sql(mini_db, FOUR_WAY)
+        for subquery in generate_subqueries(query, max_joins=2):
+            rebound = bind_sql(mini_db, subquery.sql)
+            assert sorted(rebound.aliases) == sorted(subquery.aliases)
+
+    def test_structure_key_merges_identical_subqueries(self, mini_db):
+        first = bind_sql(mini_db, FOUR_WAY)
+        second = bind_sql(mini_db, FOUR_WAY.replace("o_state, COUNT(*)", "o_state, SUM(s_price)"))
+        keys_first = {s.structure_key() for s in generate_subqueries(first, 2)}
+        keys_second = {s.structure_key() for s in generate_subqueries(second, 2)}
+        assert keys_first == keys_second
+
+    def test_no_aggregation_in_subqueries(self, mini_db):
+        query = bind_sql(mini_db, FOUR_WAY)
+        for subquery in generate_subqueries(query, max_joins=3):
+            assert not subquery.query.has_aggregation
+
+
+class TestPropertyRanges:
+    def test_variants_include_original_first(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_class FROM item WHERE i_category = 'Music'")
+        variants = generate_variants(mini_db.catalog, query)
+        assert variants[0].is_original
+        assert len(variants) >= 2
+
+    def test_variant_values_sampled_from_data(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_class FROM item WHERE i_category = 'Music'")
+        categories = set(mini_db.catalog.table_data("ITEM").column_values("i_category"))
+        for variant in generate_variants(mini_db.catalog, query)[1:]:
+            predicate = variant.query.predicates_for("ITEM")[0]
+            assert predicate.right.value in categories
+
+    def test_query_without_equality_predicates_has_single_variant(self, mini_db):
+        query = bind_sql(mini_db, "SELECT i_class FROM item WHERE i_price > 50")
+        variants = generate_variants(mini_db.catalog, query)
+        assert len(variants) == 1
+
+    def test_max_variants_respected(self, mini_db):
+        query = bind_sql(
+            mini_db,
+            "SELECT i_class FROM item WHERE i_category = 'Music' AND i_class = 'class_1'",
+        )
+        assert len(generate_variants(mini_db.catalog, query, max_variants=2)) == 2
+
+
+class TestRanking:
+    def test_kmeans_separates_clusters(self):
+        values = [10.0, 11.0, 10.5, 30.0, 29.0]
+        assignments, centroids = kmeans_two_clusters(values)
+        assert assignments == [0, 0, 0, 1, 1]
+        assert centroids[0] < centroids[1]
+
+    def test_kmeans_identical_values(self):
+        assignments, _ = kmeans_two_clusters([5.0, 5.0, 5.0])
+        assert assignments == [0, 0, 0]
+
+    def test_kmeans_empty(self):
+        assert kmeans_two_clusters([]) == ([], (0.0, 0.0))
+
+    def test_robust_elapsed_discards_interference_spike(self, mini_db):
+        qgm = mini_db.explain("SELECT COUNT(*) FROM outlet")
+        batch = Db2Batch(mini_db.catalog, mini_db.config, runs=6, interference_probability=0.0)
+        measurement = batch.benchmark(qgm)
+        # Inject an artificial interference spike and check it is discarded.
+        measurement.run_elapsed_ms[0] *= 10
+        robust = robust_elapsed_ms(measurement)
+        assert robust < measurement.run_elapsed_ms[0] / 2
+
+    def test_rank_measurements_orders_by_elapsed(self, mini_db):
+        sql = "SELECT i_category, COUNT(*) FROM sales, item WHERE s_item_sk = i_item_sk GROUP BY i_category"
+        plans = [mini_db.explain(sql)] + mini_db.random_plans(sql, 3)
+        batch = Db2Batch(mini_db.catalog, mini_db.config, runs=3)
+        ranked = rank_measurements([batch.benchmark(plan) for plan in plans])
+        elapsed = [plan.elapsed_ms for plan in ranked]
+        assert elapsed == sorted(elapsed)
+
+
+class TestPlanUtils:
+    def test_join_tree_root_skips_top_operators(self, mini_db):
+        qgm = mini_db.explain(FOUR_WAY)
+        root = join_tree_root(qgm)
+        assert root.is_join
+
+    def test_canonical_label_map_is_dense_and_ordered(self, mini_db):
+        qgm = mini_db.explain(FOUR_WAY)
+        labels = canonical_label_map(join_tree_root(qgm))
+        assert sorted(labels.values()) == [f"TABLE_{i}" for i in range(1, 5)]
+
+
+class TestLearningEngine:
+    @pytest.fixture(scope="class")
+    def learned(self, mini_db):
+        kb = KnowledgeBase()
+        engine = LearningEngine(
+            mini_db,
+            kb,
+            LearningConfig(
+                max_joins=2,
+                random_plans_per_subquery=5,
+                max_variants=2,
+                validate_on_parent=True,
+            ),
+        )
+        record = engine.learn_query(FOUR_WAY, query_name="q4", workload_name="unit")
+        return kb, engine, record
+
+    def test_learning_discovers_templates(self, learned):
+        kb, _, record = learned
+        assert record.analyzed_subquery_count > 0
+        assert len(kb) == len(record.templates_learned)
+        assert len(kb) >= 1
+
+    def test_learned_improvements_exceed_threshold(self, learned):
+        _, engine, record = learned
+        for improvement in record.improvements:
+            assert improvement >= engine.config.improvement_threshold
+
+    def test_templates_are_abstracted(self, learned):
+        kb, _, _ = learned
+        for template in kb.all_templates():
+            assert template.canonical_labels
+            assert all(label.startswith("TABLE_") for label in template.canonical_labels.values())
+            assert template.guideline_xml.startswith("<OPTGUIDELINES>")
+
+    def test_duplicate_subqueries_merged_across_queries(self, mini_db, learned):
+        kb, engine, first_record = learned
+        second_record = engine.learn_query(FOUR_WAY, query_name="q4-again", workload_name="unit")
+        assert second_record.analyzed_subquery_count == 0
+        assert second_record.templates_learned == []
+
+    def test_galo_facade_reoptimizes_learned_query(self, mini_db, learned):
+        kb, _, _ = learned
+        galo = Galo(mini_db, knowledge_base=kb)
+        result = galo.reoptimize(FOUR_WAY, query_name="q4")
+        assert result.original_elapsed_ms is not None
+        if result.plan_changed:
+            assert result.reoptimized_elapsed_ms <= result.original_elapsed_ms * 1.05

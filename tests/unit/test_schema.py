@@ -1,0 +1,75 @@
+"""Unit tests for repro.engine.schema."""
+
+import pytest
+
+from repro.engine.schema import Column, Index, TableSchema, make_schema
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+
+def sample_schema() -> TableSchema:
+    return make_schema(
+        "ITEM",
+        [("i_item_sk", DataType.INTEGER), ("i_category", DataType.VARCHAR)],
+        [Index("I_PK", "ITEM", "i_item_sk", unique=True)],
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        schema = sample_schema()
+        assert schema.column("i_item_sk").data_type is DataType.INTEGER
+        assert schema.has_column("i_category")
+        assert not schema.has_column("missing")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            sample_schema().column("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(
+                name="T",
+                columns=[Column("a", DataType.INTEGER), Column("a", DataType.VARCHAR)],
+            )
+
+    def test_column_names_order(self):
+        assert sample_schema().column_names == ["i_item_sk", "i_category"]
+
+    def test_row_width_sums_columns(self):
+        schema = sample_schema()
+        assert schema.row_width == 4 + 24
+
+    def test_index_on_column(self):
+        schema = sample_schema()
+        assert schema.index_on("i_item_sk").name == "I_PK"
+        assert schema.index_on("i_category") is None
+
+    def test_index_named(self):
+        schema = sample_schema()
+        assert schema.index_named("I_PK") is not None
+        assert schema.index_named("OTHER") is None
+
+    def test_add_index_validates_column(self):
+        schema = sample_schema()
+        with pytest.raises(CatalogError):
+            schema.add_index(Index("BAD", "ITEM", "missing_column"))
+
+    def test_add_duplicate_index_rejected(self):
+        schema = sample_schema()
+        with pytest.raises(CatalogError):
+            schema.add_index(Index("I_PK", "ITEM", "i_category"))
+
+    def test_add_index_appends(self):
+        schema = sample_schema()
+        schema.add_index(Index("I_CAT", "ITEM", "i_category", cluster_ratio=0.4))
+        assert schema.index_on("i_category").cluster_ratio == pytest.approx(0.4)
+
+
+class TestIndexDefaults:
+    def test_default_cluster_ratio(self):
+        index = Index("X", "T", "c")
+        assert 0.0 <= index.cluster_ratio <= 1.0
+
+    def test_unique_flag_default_false(self):
+        assert not Index("X", "T", "c").unique

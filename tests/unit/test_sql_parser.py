@@ -1,0 +1,113 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.engine.sql.lexer import tokenize
+from repro.engine.sql.parser import parse_select
+from repro.errors import SqlSyntaxError
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize("SELECT a FROM t WHERE a = 1")]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD", "IDENT", "OP", "NUMBER", "EOF"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT a FROM t WHERE b = 'it''s'")
+        assert any(token.kind == "STRING" and token.text == "'it''s'" for token in tokens)
+
+    def test_number_forms(self):
+        tokens = tokenize("SELECT 1, 2.5, 3e4 FROM t")
+        numbers = [token.text for token in tokens if token.kind == "NUMBER"]
+        assert numbers == ["1", "2.5", "3e4"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT a FROM t WHERE a = @1")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[0].upper == "SELECT"
+
+
+class TestParserSelectList:
+    def test_select_star(self):
+        statement = parse_select("SELECT * FROM item")
+        assert statement.select_star
+        assert statement.from_tables[0].table == "item"
+
+    def test_plain_columns(self):
+        statement = parse_select("SELECT a, t.b FROM t")
+        assert statement.select_items[0].column.name == "a"
+        assert statement.select_items[1].column.qualifier == "t"
+
+    def test_aggregates(self):
+        statement = parse_select("SELECT COUNT(*), SUM(x), AVG(y) AS avg_y FROM t")
+        aggregates = [item.aggregate for item in statement.select_items]
+        assert aggregates == ["COUNT", "SUM", "AVG"]
+        assert statement.select_items[0].column is None
+        assert statement.select_items[2].alias == "avg_y"
+
+    def test_column_alias_without_as(self):
+        statement = parse_select("SELECT a total FROM t")
+        assert statement.select_items[0].alias == "total"
+
+
+class TestParserFromWhere:
+    def test_multiple_tables_with_aliases(self):
+        statement = parse_select("SELECT a FROM t1 x, t2 AS y, t3")
+        aliases = [ref.alias for ref in statement.from_tables]
+        assert aliases == ["x", "y", None]
+
+    def test_join_and_local_conditions(self):
+        statement = parse_select(
+            "SELECT a FROM t1, t2 WHERE t1.k = t2.k AND t1.c = 'x' AND t2.n > 5"
+        )
+        kinds = [condition.kind for condition in statement.where]
+        assert kinds == ["comparison", "comparison", "comparison"]
+
+    def test_between(self):
+        statement = parse_select("SELECT a FROM t WHERE d BETWEEN 1 AND 10")
+        condition = statement.where[0]
+        assert condition.kind == "between"
+        assert [literal.value for literal in condition.operands] == [1, 10]
+
+    def test_in_list(self):
+        statement = parse_select("SELECT a FROM t WHERE c IN ('x', 'y', 'z')")
+        condition = statement.where[0]
+        assert condition.kind == "in"
+        assert len(condition.operands) == 3
+
+    def test_is_null_and_is_not_null(self):
+        statement = parse_select("SELECT a FROM t WHERE c IS NULL AND d IS NOT NULL")
+        assert statement.where[0].kind == "isnull"
+        assert statement.where[1].kind == "isnotnull"
+
+    def test_like(self):
+        statement = parse_select("SELECT a FROM t WHERE c LIKE 'Jew%'")
+        assert statement.where[0].kind == "like"
+
+    def test_or_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE a = 1 OR a = 2")
+
+    def test_group_by_and_order_by(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a DESC"
+        )
+        assert [col.name for col in statement.group_by] == ["a"]
+        assert [col.name for col in statement.order_by] == ["a"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t WHERE a = 1 garbage garbage garbage)")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a WHERE a = 1")
+
+    def test_string_and_float_literals(self):
+        statement = parse_select("SELECT a FROM t WHERE p = 3.5 AND q = 'text'")
+        assert statement.where[0].right.value == pytest.approx(3.5)
+        assert statement.where[1].right.value == "text"

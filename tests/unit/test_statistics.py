@@ -1,0 +1,127 @@
+"""Unit tests for repro.engine.statistics."""
+
+import pytest
+
+from repro.engine.statistics import (
+    ColumnStatistics,
+    collect_column_statistics,
+    collect_table_statistics,
+    join_selectivity,
+)
+from repro.engine.schema import make_schema
+from repro.engine.storage import TableData
+from repro.engine.types import DataType
+
+
+class TestCollectColumnStatistics:
+    def test_basic_counts(self):
+        stats = collect_column_statistics("c", [1, 2, 2, 3, None])
+        assert stats.n_rows == 5
+        assert stats.n_nulls == 1
+        assert stats.n_distinct == 3
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_empty_column(self):
+        stats = collect_column_statistics("c", [])
+        assert stats.n_rows == 0
+        assert stats.selectivity_equals("x") == 0.0
+
+    def test_all_null_column(self):
+        stats = collect_column_statistics("c", [None, None])
+        assert stats.n_nulls == 2
+        assert stats.n_distinct == 0
+
+    def test_frequent_values_sorted_by_count(self):
+        values = ["a"] * 10 + ["b"] * 5 + ["c"]
+        stats = collect_column_statistics("c", values)
+        assert stats.frequent_values[0] == ("a", 10)
+        assert stats.frequent_values[1] == ("b", 5)
+
+    def test_histogram_monotone(self):
+        stats = collect_column_statistics("c", list(range(1000)))
+        assert stats.histogram == sorted(stats.histogram)
+        assert stats.histogram[0] == 0
+        assert stats.histogram[-1] == 999
+
+    def test_string_column_has_no_histogram(self):
+        stats = collect_column_statistics("c", ["x", "y", "z"])
+        assert stats.histogram == []
+        assert stats.min_value == "x"
+
+
+class TestSelectivityEstimates:
+    def test_equality_on_frequent_value(self):
+        values = ["a"] * 90 + ["b"] * 10
+        stats = collect_column_statistics("c", values)
+        assert stats.selectivity_equals("a") == pytest.approx(0.9)
+        assert stats.selectivity_equals("b") == pytest.approx(0.1)
+
+    def test_equality_on_rare_value_uses_uniform_remainder(self):
+        values = list(range(1000))
+        stats = collect_column_statistics("c", values)
+        selectivity = stats.selectivity_equals(1234)  # unseen value
+        assert 0 < selectivity <= 0.01
+
+    def test_equality_null(self):
+        stats = collect_column_statistics("c", [1, None, None, 2])
+        assert stats.selectivity_equals(None) == pytest.approx(0.5)
+
+    def test_range_full_span_is_one(self):
+        stats = collect_column_statistics("c", list(range(100)))
+        assert stats.selectivity_range(0, 99) == pytest.approx(1.0, abs=0.05)
+
+    def test_range_half_span(self):
+        stats = collect_column_statistics("c", list(range(100)))
+        half = stats.selectivity_range(0, 49)
+        assert 0.35 <= half <= 0.65
+
+    def test_range_open_ended(self):
+        stats = collect_column_statistics("c", list(range(100)))
+        assert stats.selectivity_range(90, None) <= 0.2
+        assert stats.selectivity_range(None, 10) <= 0.2
+
+    def test_range_outside_domain(self):
+        stats = collect_column_statistics("c", list(range(100)))
+        assert stats.selectivity_range(500, 600) <= 0.02
+
+    def test_range_on_string_column_uses_default(self):
+        stats = collect_column_statistics("c", ["a", "b", "c"])
+        assert 0 < stats.selectivity_range("a", None) <= 1.0
+
+    def test_selectivity_in_unit_interval(self):
+        stats = collect_column_statistics("c", [1] * 5 + [2] * 3 + [None] * 2)
+        for value in (1, 2, 3, None):
+            assert 0.0 <= stats.selectivity_equals(value) <= 1.0
+
+
+class TestTableStatistics:
+    def test_collect_table_statistics(self):
+        schema = make_schema("T", [("a", DataType.INTEGER), ("b", DataType.VARCHAR)])
+        data = TableData(schema)
+        data.insert_rows([{"a": i, "b": "x"} for i in range(42)])
+        stats = collect_table_statistics(schema, data)
+        assert stats.cardinality == 42
+        assert stats.pages >= 1
+        assert stats.column("a").n_distinct == 42
+        assert stats.column("b").n_distinct == 1
+
+    def test_unknown_column_returns_defaults(self):
+        schema = make_schema("T", [("a", DataType.INTEGER)])
+        data = TableData(schema)
+        data.insert_rows([{"a": i} for i in range(10)])
+        stats = collect_table_statistics(schema, data)
+        fallback = stats.column("nonexistent")
+        assert fallback.n_rows == 10
+
+
+class TestJoinSelectivity:
+    def test_uses_larger_ndv(self):
+        left = ColumnStatistics(column="l", n_rows=100, n_distinct=10)
+        right = ColumnStatistics(column="r", n_rows=1000, n_distinct=100)
+        assert join_selectivity(left, right) == pytest.approx(1 / 100)
+
+    def test_handles_zero_ndv(self):
+        left = ColumnStatistics(column="l", n_rows=0, n_distinct=0)
+        right = ColumnStatistics(column="r", n_rows=0, n_distinct=0)
+        assert join_selectivity(left, right) == pytest.approx(1.0)

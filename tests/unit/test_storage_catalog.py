@@ -1,0 +1,157 @@
+"""Unit tests for repro.engine.storage and repro.engine.catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Index, make_schema
+from repro.engine.storage import TableData
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+
+def item_schema():
+    return make_schema(
+        "ITEM",
+        [("i_item_sk", DataType.INTEGER), ("i_category", DataType.VARCHAR)],
+        [Index("I_PK", "ITEM", "i_item_sk", unique=True)],
+    )
+
+
+def sample_rows(n=50):
+    return [
+        {"i_item_sk": i, "i_category": ["Music", "Books"][i % 2]} for i in range(n)
+    ]
+
+
+class TestTableData:
+    def test_insert_and_row_count(self):
+        data = TableData(item_schema())
+        assert data.insert_rows(sample_rows(10)) == 10
+        assert data.row_count == 10
+
+    def test_row_access(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(5))
+        assert data.row(3) == {"i_item_sk": 3, "i_category": "Books"}
+
+    def test_column_values(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(4))
+        assert data.column_values("i_item_sk") == [0, 1, 2, 3]
+
+    def test_unknown_column_raises(self):
+        data = TableData(item_schema())
+        with pytest.raises(CatalogError):
+            data.column_values("missing")
+
+    def test_index_lookup(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(20))
+        data.build_index(item_schema().indexes[0])
+        index = data.index("I_PK")
+        assert index.lookup(7) == [7]
+        assert index.lookup(999) == []
+
+    def test_index_rebuilt_after_insert(self):
+        schema = item_schema()
+        data = TableData(schema)
+        data.build_index(schema.indexes[0])
+        data.insert_rows(sample_rows(5))
+        assert data.index("I_PK").lookup(4) == [4]
+
+    def test_index_range_lookup(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(20))
+        data.build_index(item_schema().indexes[0])
+        assert data.index("I_PK").lookup_range(5, 8) == [5, 6, 7, 8]
+        assert data.index("I_PK").lookup_range(None, 2) == [0, 1, 2]
+        assert data.index("I_PK").lookup_range(18, None) == [18, 19]
+
+    def test_index_on_column_helper(self):
+        data = TableData(item_schema())
+        data.build_index(item_schema().indexes[0])
+        assert data.index_on("i_item_sk") is not None
+        assert data.index_on("i_category") is None
+
+    def test_missing_index_raises(self):
+        data = TableData(item_schema())
+        with pytest.raises(CatalogError):
+            data.index("NOPE")
+
+    def test_page_count_grows_with_rows(self):
+        small = TableData(item_schema())
+        small.insert_rows(sample_rows(10))
+        large = TableData(item_schema())
+        large.insert_rows(sample_rows(5000))
+        assert large.page_count > small.page_count
+        assert small.page_count >= 1
+
+    def test_rows_iteration_with_ids(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(10))
+        subset = list(data.rows([2, 4]))
+        assert [row["i_item_sk"] for row in subset] == [2, 4]
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        assert catalog.has_table("item")
+        assert catalog.has_table("ITEM")
+        assert "ITEM" in catalog
+        assert len(catalog) == 1
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(item_schema())
+
+    def test_missing_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table_schema("ghost")
+        with pytest.raises(CatalogError):
+            catalog.table_data("ghost")
+        with pytest.raises(CatalogError):
+            catalog.statistics("ghost")
+
+    def test_load_rows_refreshes_statistics(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        catalog.load_rows("ITEM", sample_rows(30))
+        stats = catalog.statistics("ITEM")
+        assert stats.cardinality == 30
+        assert stats.column("i_item_sk").n_distinct == 30
+
+    def test_runstats_reflects_new_data(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        catalog.load_rows("ITEM", sample_rows(10))
+        catalog.table_data("ITEM").insert_rows(sample_rows(10))
+        # statistics are stale until runstats
+        assert catalog.statistics("ITEM").cardinality == 10
+        catalog.runstats("ITEM")
+        assert catalog.statistics("ITEM").cardinality == 20
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        catalog.drop_table("ITEM")
+        assert not catalog.has_table("ITEM")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("ITEM")
+
+    def test_create_index_via_catalog(self):
+        catalog = Catalog()
+        catalog.create_table(item_schema())
+        catalog.load_rows("ITEM", sample_rows(10))
+        catalog.create_index(Index("I_CAT", "ITEM", "i_category", cluster_ratio=0.5))
+        assert catalog.table_data("ITEM").index("I_CAT").lookup("Music")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.create_table(make_schema("ZED", [("z", DataType.INTEGER)]))
+        catalog.create_table(make_schema("ALPHA", [("a", DataType.INTEGER)]))
+        assert catalog.table_names == ["ALPHA", "ZED"]

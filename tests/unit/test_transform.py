@@ -1,0 +1,122 @@
+"""Unit tests for the transformation engine (QGM -> RDF, QGM -> SPARQL)."""
+
+import pytest
+
+from repro.core import vocabulary as voc
+from repro.core.transform.rdf_mapper import qgm_to_rdf, rdf_node_index, subplan_to_rdf
+from repro.core.transform.sparql_gen import sparql_for_subplan
+from repro.core.planutils import join_tree_root
+from repro.rdf.sparql.parser import parse_sparql
+from repro.rdf.terms import Literal
+
+SQL = (
+    "SELECT i_category, COUNT(*) FROM sales, item, date_dim "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND i_category = 'Jewelry' "
+    "GROUP BY i_category"
+)
+
+
+class TestQgmToRdf:
+    def test_every_node_has_type_and_cardinality(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        graph = qgm_to_rdf(qgm, mini_db.catalog)
+        index = rdf_node_index(qgm.root)
+        for node in qgm.nodes():
+            resource = index[node.operator_id]
+            assert graph.value(resource, voc.HAS_POP_TYPE) == Literal(node.display_type)
+            assert graph.value(resource, voc.HAS_ESTIMATE_CARDINALITY) is not None
+
+    def test_scan_nodes_carry_table_metadata(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        graph = qgm_to_rdf(qgm, mini_db.catalog)
+        index = rdf_node_index(qgm.root)
+        for scan in qgm.scans():
+            resource = index[scan.operator_id]
+            assert graph.value(resource, voc.HAS_TABLE_NAME) == Literal(scan.table)
+            assert graph.value(resource, voc.HAS_FPAGES) is not None
+            assert graph.value(resource, voc.HAS_ROW_SIZE) is not None
+
+    def test_output_stream_edges_mirror_tree(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        graph = qgm_to_rdf(qgm)
+        index = rdf_node_index(qgm.root)
+        edge_count = 0
+        for node in qgm.nodes():
+            for child in node.inputs:
+                edge_count += 1
+                assert (
+                    index[node.operator_id]
+                    in graph.objects(index[child.operator_id], voc.HAS_OUTPUT_STREAM)
+                )
+        assert edge_count == len(qgm.nodes()) - 1
+
+    def test_join_input_stream_edges(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        graph = qgm_to_rdf(qgm)
+        index = rdf_node_index(qgm.root)
+        for join_node in qgm.joins():
+            resource = index[join_node.operator_id]
+            assert graph.objects(resource, voc.HAS_OUTER_INPUT_STREAM)
+            assert graph.objects(resource, voc.HAS_INNER_INPUT_STREAM)
+
+    def test_actual_cardinality_included_after_execution(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        mini_db.execute_plan(qgm)
+        graph = qgm_to_rdf(qgm)
+        index = rdf_node_index(qgm.root)
+        assert graph.value(index[1], voc.HAS_ACTUAL_CARDINALITY) is not None
+
+    def test_resource_prefix_separates_plans(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        first = subplan_to_rdf(qgm.root, resource_prefix="a_")
+        second = subplan_to_rdf(qgm.root, resource_prefix="b_")
+        combined_subjects = {t.subject for t in first} & {t.subject for t in second}
+        assert not combined_subjects
+
+
+class TestSparqlGeneration:
+    def test_generated_query_parses(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        segment = join_tree_root(qgm)
+        generated = sparql_for_subplan(segment, catalog=mini_db.catalog)
+        query = parse_sparql(generated.text)
+        assert query.patterns
+        assert query.filters
+
+    def test_result_handlers_cover_all_nodes(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        segment = join_tree_root(qgm)
+        generated = sparql_for_subplan(segment, catalog=mini_db.catalog)
+        assert len(generated.node_for_variable) == len(list(segment.walk()))
+        # Scans are named after their table instance, like ?pop_Q3 in the paper.
+        scan_variables = [
+            name for name, node in generated.node_for_variable.items() if node.is_scan
+        ]
+        assert all(name.startswith("pop_") for name in scan_variables)
+
+    def test_template_variable_selected(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        generated = sparql_for_subplan(join_tree_root(qgm), catalog=mini_db.catalog)
+        assert "?template" in generated.text
+        assert "kbURI:inTemplate" in generated.text
+
+    def test_cardinality_bounds_filters_present(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        generated = sparql_for_subplan(join_tree_root(qgm), catalog=mini_db.catalog)
+        assert "hasLowerCardinality" in generated.text
+        assert "hasHigherCardinality" in generated.text
+        assert "FILTER" in generated.text
+
+    def test_label_variables_for_scans(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        segment = join_tree_root(qgm)
+        generated = sparql_for_subplan(segment, catalog=mini_db.catalog)
+        assert len(generated.label_variables) == len(segment.scans())
+
+    def test_row_size_checks_optional(self, mini_db):
+        qgm = mini_db.explain(SQL)
+        segment = join_tree_root(qgm)
+        with_rows = sparql_for_subplan(segment, catalog=mini_db.catalog, check_row_size=True)
+        without_rows = sparql_for_subplan(segment, catalog=mini_db.catalog, check_row_size=False)
+        assert "hasLowerRowSize" in with_rows.text
+        assert "hasLowerRowSize" not in without_rows.text

@@ -1,0 +1,65 @@
+"""Unit tests for repro.engine.types."""
+
+import pytest
+
+from repro.engine.types import (
+    DataType,
+    coerce_value,
+    date_to_ordinal,
+    ordinal_to_date,
+    row_width_for,
+)
+
+
+class TestDateConversion:
+    def test_epoch_is_zero(self):
+        assert date_to_ordinal("1970-01-01") == 0
+
+    def test_known_date(self):
+        assert date_to_ordinal("1970-01-02") == 1
+        assert date_to_ordinal("1971-01-01") == 365
+
+    def test_round_trip(self):
+        for text in ("1970-01-01", "1999-12-31", "2016-01-02", "2026-06-14"):
+            assert ordinal_to_date(date_to_ordinal(text)) == text
+
+    def test_ordering_preserved(self):
+        assert date_to_ordinal("2015-05-01") < date_to_ordinal("2016-01-02")
+
+
+class TestCoerceValue:
+    def test_none_passthrough(self):
+        for data_type in DataType:
+            assert coerce_value(None, data_type) is None
+
+    def test_integer(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+        assert coerce_value(7.0, DataType.INTEGER) == 7
+
+    def test_decimal(self):
+        assert coerce_value("3.5", DataType.DECIMAL) == pytest.approx(3.5)
+        assert isinstance(coerce_value(1, DataType.DECIMAL), float)
+
+    def test_varchar(self):
+        assert coerce_value(123, DataType.VARCHAR) == "123"
+
+    def test_date_from_string(self):
+        assert coerce_value("1970-01-02", DataType.DATE) == 1
+
+    def test_date_from_int(self):
+        assert coerce_value(500, DataType.DATE) == 500
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.DECIMAL.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.VARCHAR.is_numeric
+
+    def test_row_widths_positive(self):
+        for data_type in DataType:
+            assert row_width_for(data_type) > 0
+
+    def test_varchar_wider_than_integer(self):
+        assert row_width_for(DataType.VARCHAR) > row_width_for(DataType.INTEGER)
