@@ -83,14 +83,25 @@ class Galo:
         self,
         queries: Sequence[Union[str, Tuple[str, str]]],
         execute: Optional[bool] = None,
+        parallelism: Optional[int] = None,
     ) -> List[QueryReoptimization]:
-        """Re-optimize a whole workload."""
-        return self.matching_engine.reoptimize_workload(queries, execute=execute)
+        """Re-optimize a whole workload, optionally with a thread pool."""
+        return self.matching_engine.reoptimize_workload(
+            queries, execute=execute, parallelism=parallelism
+        )
 
     # -- knowledge base management ---------------------------------------------
 
     def save_knowledge_base(self, directory: str) -> None:
         self.knowledge_base.save(directory)
+
+    def load_knowledge_base(self, directory: str) -> KnowledgeBase:
+        """Replace the current knowledge base with one saved by
+        :meth:`save_knowledge_base` and rewire both engines to it."""
+        self.knowledge_base = KnowledgeBase.load(directory)
+        self.learning_engine.knowledge_base = self.knowledge_base
+        self.matching_engine.knowledge_base = self.knowledge_base
+        return self.knowledge_base
 
     @property
     def template_count(self) -> int:

@@ -16,10 +16,14 @@ sampled during learning.
 from __future__ import annotations
 
 import json
+import threading
 import uuid
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache import LruCache
 
 from repro.core import vocabulary as voc
 from repro.core.transform.sparql_gen import GeneratedSparql
@@ -27,7 +31,13 @@ from repro.engine.catalog import Catalog
 from repro.engine.plan.physical import PlanNode
 from repro.rdf.graph import Graph
 from repro.rdf.sparql.evaluator import SparqlEngine
+from repro.rdf.sparql.parser import parse_sparql
 from repro.rdf.terms import IRI, Literal
+
+#: Slack added to index-side bound comparisons so that the 4-decimal rounding
+#: applied when cardinalities are serialized into SPARQL text can never make
+#: the pre-filter stricter than the SPARQL FILTERs it stands in for.
+_BOUND_EPSILON = 1e-6
 
 
 @dataclass(frozen=True)
@@ -110,12 +120,146 @@ class TemplateMatch:
     bindings: Dict[str, object] = field(default_factory=dict)
 
 
+@dataclass
+class SegmentProfile:
+    """Shape / bound summary of one plan segment, as the index needs it.
+
+    ``node_requirements`` holds one ``(pop type, lower needed, upper needed)``
+    triple per segment node: a template can only match if, for every segment
+    node, it owns at least one LOLEPOP of the same type whose learned
+    cardinality range covers the node's concrete cardinality (after tolerance
+    scaling -- the same comparison the generated SPARQL FILTERs perform).
+    """
+
+    join_count: int
+    scan_count: int
+    pop_type_counts: Dict[str, int]
+    node_requirements: Tuple[Tuple[str, float, float], ...]
+
+    @classmethod
+    def from_segment_nodes(
+        cls, nodes: Sequence[PlanNode], cardinality_tolerance: float = 1.0
+    ) -> "SegmentProfile":
+        tolerance = max(cardinality_tolerance, 1e-12)
+        requirements = []
+        for node in nodes:
+            cardinality = float(node.estimated_cardinality)
+            requirements.append(
+                (
+                    node.display_type,
+                    round(cardinality * tolerance, 4) + _BOUND_EPSILON,
+                    round(cardinality / tolerance, 4) - _BOUND_EPSILON,
+                )
+            )
+        return cls(
+            join_count=sum(1 for node in nodes if node.is_join),
+            scan_count=sum(1 for node in nodes if node.is_scan),
+            pop_type_counts=dict(Counter(node.display_type for node in nodes)),
+            node_requirements=tuple(requirements),
+        )
+
+
+@dataclass
+class TemplateProfile:
+    """Per-template summary maintained by :class:`TemplateIndex`."""
+
+    template_id: str
+    join_count: int
+    scan_count: int
+    pop_type_counts: Dict[str, int]
+    #: pop type -> [(lower bound, upper bound), ...] over pops of that type,
+    #: with the same 4-decimal rounding the graph triples carry.
+    bounds_by_type: Dict[str, List[Tuple[float, float]]]
+
+
+class TemplateIndex:
+    """Pre-filter over the knowledge base's templates.
+
+    Templates are bucketed by ``(join count, scan count)`` -- both are exact
+    requirements of a match -- and each bucket entry keeps the template's
+    pop-type multiset and per-type cardinality ranges.  ``candidates`` returns
+    only the templates that pass every *necessary* condition of a match, so
+    the expensive SPARQL query-by-example runs against a small candidate set
+    instead of the whole knowledge base.  Every check is conservative: a
+    template the SPARQL evaluation could match is never filtered out.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, TemplateProfile] = {}
+        self._by_shape: Dict[Tuple[int, int], List[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, template_id: str) -> bool:
+        return template_id in self._profiles
+
+    def profile(self, template_id: str) -> TemplateProfile:
+        return self._profiles[template_id]
+
+    def clear(self) -> None:
+        self._profiles.clear()
+        self._by_shape.clear()
+
+    def add(self, profile: TemplateProfile) -> None:
+        self._profiles[profile.template_id] = profile
+        key = (profile.join_count, profile.scan_count)
+        self._by_shape.setdefault(key, []).append(profile.template_id)
+
+    def candidates(self, segment: SegmentProfile) -> List[str]:
+        """Template ids that could match a segment with the given profile."""
+        bucket = self._by_shape.get((segment.join_count, segment.scan_count), ())
+        out: List[str] = []
+        for template_id in bucket:
+            profile = self._profiles[template_id]
+            if not self._covers(profile, segment):
+                continue
+            out.append(template_id)
+        return out
+
+    @staticmethod
+    def _covers(profile: TemplateProfile, segment: SegmentProfile) -> bool:
+        for pop_type, count in segment.pop_type_counts.items():
+            if profile.pop_type_counts.get(pop_type, 0) < count:
+                return False
+        for pop_type, lower_needed, upper_needed in segment.node_requirements:
+            ranges = profile.bounds_by_type.get(pop_type)
+            if not ranges:
+                return False
+            if not any(
+                lower <= lower_needed and upper >= upper_needed
+                for lower, upper in ranges
+            ):
+                return False
+        return True
+
+
 class KnowledgeBase:
     """RDF-backed store of problem-pattern templates (the paper's Fuseki/TDB)."""
+
+    #: Upper bound on the number of parsed SPARQL queries kept around.
+    PARSE_CACHE_SIZE = 512
 
     def __init__(self) -> None:
         self.graph = Graph()
         self.templates: Dict[str, ProblemPatternTemplate] = {}
+        #: Pre-filtering index over the templates; kept in lockstep with
+        #: ``templates`` / ``graph`` by ``add_template`` and ``load``.
+        self.index = TemplateIndex()
+        #: template id -> the template's own triples, so candidate templates
+        #: can be evaluated in isolation instead of against the whole graph.
+        self._template_graphs: Dict[str, Graph] = {}
+        self._parsed_queries = LruCache(self.PARSE_CACHE_SIZE)
+        #: Matching observability: how much work the index saved.  Guarded by
+        #: ``_stats_lock``: parallel re-optimization calls ``match`` from
+        #: worker threads.
+        self.match_stats = {
+            "queries": 0,
+            "indexed_queries": 0,
+            "candidates_evaluated": 0,
+            "templates_skipped": 0,
+        }
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -195,7 +339,10 @@ class KnowledgeBase:
         row_size_slack: int,
     ) -> None:
         template_resource = voc.TEMPLATE[template.template_id]
-        graph = self.graph
+        # Triples are collected in a per-template subgraph first so indexed
+        # matching can evaluate one candidate template in isolation; the global
+        # graph (what ``save`` persists) is the union of the subgraphs.
+        graph = Graph()
         graph.add_triple(template_resource, voc.HAS_TEMPLATE_ID, Literal(template.template_id))
         graph.add_triple(template_resource, voc.HAS_SOURCE_WORKLOAD, Literal(template.source_workload))
         graph.add_triple(template_resource, voc.HAS_SOURCE_QUERY, Literal(template.source_query))
@@ -259,27 +406,124 @@ class KnowledgeBase:
                     resources[child.operator_id], voc.HAS_OUTPUT_STREAM, resource
                 )
 
+        self._register_template_graph(template, graph)
+
+    def _register_template_graph(
+        self, template: ProblemPatternTemplate, subgraph: Graph
+    ) -> None:
+        """Merge a template's subgraph into the store and index the template."""
+        self._template_graphs[template.template_id] = subgraph
+        self.graph.update(subgraph)
+        self.index.add(self._profile_from_subgraph(template, subgraph))
+
+    def _profile_from_subgraph(
+        self, template: ProblemPatternTemplate, subgraph: Graph
+    ) -> TemplateProfile:
+        """Summarize a template's triples into an index entry.
+
+        Reading the profile back from the triples (rather than from the plan
+        the template was built from) keeps one code path for both freshly
+        learned and reloaded templates, and guarantees the index sees exactly
+        the rounded bounds the SPARQL FILTERs will compare against.
+        """
+        template_resource = voc.TEMPLATE[template.template_id]
+        pop_type_counts: Counter = Counter()
+        bounds_by_type: Dict[str, List[Tuple[float, float]]] = {}
+        for triple in subgraph.triples(None, voc.IN_TEMPLATE, template_resource):
+            pop = triple.subject
+            pop_type_node = subgraph.value(pop, voc.HAS_POP_TYPE)
+            if not isinstance(pop_type_node, Literal):
+                continue
+            pop_type = str(pop_type_node.value)
+            pop_type_counts[pop_type] += 1
+            lower_node = subgraph.value(pop, voc.HAS_LOWER_CARDINALITY)
+            upper_node = subgraph.value(pop, voc.HAS_HIGHER_CARDINALITY)
+            if isinstance(lower_node, Literal) and isinstance(upper_node, Literal):
+                bounds_by_type.setdefault(pop_type, []).append(
+                    (float(lower_node.value), float(upper_node.value))
+                )
+        return TemplateProfile(
+            template_id=template.template_id,
+            join_count=template.join_count,
+            scan_count=len(template.canonical_labels),
+            pop_type_counts=dict(pop_type_counts),
+            bounds_by_type=bounds_by_type,
+        )
+
+    def rebuild_index(self) -> None:
+        """Recompute subgraphs and the index from ``graph`` + ``templates``.
+
+        Used after ``load``: the persisted form is the flat triple store plus
+        the JSON registry, from which the per-template partition is recovered
+        by following each template's ``inTemplate`` triples.
+        """
+        self.index.clear()
+        self._template_graphs.clear()
+        for template_id, template in self.templates.items():
+            template_resource = voc.TEMPLATE[template_id]
+            subjects = [template_resource] + [
+                triple.subject
+                for triple in self.graph.triples(None, voc.IN_TEMPLATE, template_resource)
+            ]
+            subgraph = Graph()
+            for subject in subjects:
+                for triple in self.graph.triples(subject, None, None):
+                    subgraph.add(triple)
+            self._template_graphs[template_id] = subgraph
+            self.index.add(self._profile_from_subgraph(template, subgraph))
+
     # ------------------------------------------------------------------
 
     def match(
-        self, generated: GeneratedSparql, subplan_root: Optional[PlanNode] = None
+        self,
+        generated: GeneratedSparql,
+        subplan_root: Optional[PlanNode] = None,
+        use_index: bool = True,
     ) -> List[TemplateMatch]:
-        """Run a generated matching query against the knowledge base."""
-        engine = SparqlEngine(self.graph)
-        solutions = engine.query(generated.text)
-        matches: List[TemplateMatch] = []
-        seen_templates = set()
+        """Run a generated matching query against the knowledge base.
+
+        With ``use_index`` (the default) the :class:`TemplateIndex` pre-filters
+        the templates and the SPARQL query-by-example is evaluated against each
+        surviving candidate's own subgraph; otherwise the query runs against
+        the whole triple store.  Both paths return the same matches -- one per
+        matched template, with a deterministically chosen solution -- sorted by
+        template name.
+        """
         segment_nodes = list(generated.node_for_variable.values())
         segment_joins = sum(1 for node in segment_nodes if node.is_join)
         segment_scans = sum(1 for node in segment_nodes if node.is_scan)
+        query_ast = self._parsed_query(generated.text)
+
+        if use_index:
+            profile = SegmentProfile.from_segment_nodes(
+                segment_nodes, generated.cardinality_tolerance
+            )
+            candidate_ids = self.index.candidates(profile)
+            with self._stats_lock:
+                self.match_stats["queries"] += 1
+                self.match_stats["indexed_queries"] += 1
+                self.match_stats["candidates_evaluated"] += len(candidate_ids)
+                self.match_stats["templates_skipped"] += len(self.templates) - len(candidate_ids)
+            solutions: List[dict] = []
+            for template_id in candidate_ids:
+                subgraph = self._template_graphs.get(template_id)
+                if subgraph is None:  # pragma: no cover - defensive
+                    subgraph = self.graph
+                solutions.extend(SparqlEngine(subgraph).query(query_ast))
+        else:
+            with self._stats_lock:
+                self.match_stats["queries"] += 1
+            solutions = SparqlEngine(self.graph).query(query_ast)
+
+        solutions_by_template: Dict[str, List[dict]] = {}
         for solution in solutions:
             template_node = solution.get(generated.template_variable)
             if not isinstance(template_node, IRI):
                 continue
             template_id = template_node.value.rsplit("/", 1)[-1]
-            if template_id not in self.templates or template_id in seen_templates:
+            template = self.templates.get(template_id)
+            if template is None:
                 continue
-            template = self.templates[template_id]
             # The segment must cover the *whole* problem pattern; binding only a
             # sub-portion of a larger template would produce a guideline that
             # references tables absent from the matched region.
@@ -287,15 +531,23 @@ class KnowledgeBase:
                 continue
             if len(template.canonical_labels) != segment_scans:
                 continue
-            seen_templates.add(template_id)
+            solutions_by_template.setdefault(template_id, []).append(solution)
+
+        root = subplan_root
+        if root is None and generated.node_for_variable:
+            root = next(iter(generated.node_for_variable.values()))
+        matches: List[TemplateMatch] = []
+        for template_id, template_solutions in solutions_by_template.items():
+            # The evaluator enumerates solutions in hash order, which differs
+            # between the flat graph and a template subgraph; picking the
+            # canonically smallest solution makes the chosen bindings identical
+            # across both evaluation strategies (their solution *sets* agree).
+            solution = min(template_solutions, key=_solution_sort_key)
             label_to_alias: Dict[str, str] = {}
             for label_variable, scan_node in generated.label_variables.items():
                 value = solution.get(label_variable)
                 if isinstance(value, Literal) and scan_node.table_alias:
                     label_to_alias[str(value.value)] = scan_node.table_alias
-            root = subplan_root
-            if root is None and generated.node_for_variable:
-                root = next(iter(generated.node_for_variable.values()))
             matches.append(
                 TemplateMatch(
                     template=self.templates[template_id],
@@ -304,7 +556,26 @@ class KnowledgeBase:
                     bindings=dict(solution),
                 )
             )
+        matches.sort(key=lambda match: (match.template.name, match.template.template_id))
         return matches
+
+    def match_brute_force(
+        self, generated: GeneratedSparql, subplan_root: Optional[PlanNode] = None
+    ) -> List[TemplateMatch]:
+        """``match`` with the index disabled (full scan of the triple store)."""
+        return self.match(generated, subplan_root=subplan_root, use_index=False)
+
+    def _parsed_query(self, text: str):
+        """Parse SPARQL text once; repeated segments hit the AST cache.
+
+        The evaluator never mutates a query AST, so one parsed object is
+        safely shared across concurrent matching workers.
+        """
+        parsed = self._parsed_queries.get(text)
+        if parsed is None:
+            parsed = parse_sparql(text)
+            self._parsed_queries.put(text, parsed)
+        return parsed
 
     # ------------------------------------------------------------------
 
@@ -332,4 +603,55 @@ class KnowledgeBase:
             template_id: ProblemPatternTemplate.from_dict(payload)
             for template_id, payload in registry.items()
         }
+        kb.rebuild_index()
         return kb
+
+
+def _solution_sort_key(solution: dict) -> Tuple[Tuple[str, str], ...]:
+    """Canonical, hash-independent ordering key for one SPARQL solution."""
+    return tuple(sorted((name, value.n3()) for name, value in solution.items()))
+
+
+def abstract_template_from_plan(
+    knowledge_base: KnowledgeBase,
+    problem_root: PlanNode,
+    *,
+    name: str,
+    source_workload: str = "adhoc",
+    source_query: str = "",
+    widen: float = 2.0,
+    improvement: float = 0.0,
+    catalog: Optional[Catalog] = None,
+) -> ProblemPatternTemplate:
+    """Abstract a plan into a stored template, recommending the plan itself.
+
+    This is the learning engine's abstraction step without the benchmarking
+    phase: canonical table labels, per-node cardinality bounds widened by
+    ``widen``, and the plan's own guideline remapped onto the labels.  Used to
+    seed knowledge bases directly from plans (tests, benchmarks, expert-given
+    rewrites).
+    """
+    from repro.core.planutils import canonical_label_map, remap_guideline_document
+    from repro.engine.optimizer.guidelines import GuidelineDocument, guideline_from_plan
+
+    labels = canonical_label_map(problem_root)
+    bounds = {
+        node.operator_id: CardinalityBounds(
+            node.estimated_cardinality / widen, node.estimated_cardinality * widen
+        )
+        for node in problem_root.walk()
+    }
+    guideline = remap_guideline_document(
+        GuidelineDocument(elements=[guideline_from_plan(problem_root)]), labels
+    )
+    return knowledge_base.add_template(
+        name=name,
+        source_workload=source_workload,
+        source_query=source_query,
+        problem_root=problem_root.copy(),
+        guideline_xml=guideline.to_xml(),
+        canonical_labels=labels,
+        cardinality_bounds=bounds,
+        improvement=improvement,
+        catalog=catalog,
+    )

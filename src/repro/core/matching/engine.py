@@ -11,13 +11,20 @@ submitted with the query to the optimizer for re-optimization.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import LruCache
 from repro.core.knowledge_base import KnowledgeBase, TemplateMatch
 from repro.core.matching.segmenter import segment_plan
 from repro.core.planutils import remap_guideline_document
-from repro.core.transform.sparql_gen import sparql_for_subplan
+from repro.core.transform.sparql_gen import (
+    GeneratedSparql,
+    segment_cache_key,
+    sparql_for_subplan,
+    variable_maps_for,
+)
 from repro.engine.database import Database
 from repro.engine.optimizer.guidelines import GuidelineDocument, parse_guidelines
 from repro.engine.plan.physical import PlanNode, Qgm
@@ -36,6 +43,12 @@ class MatchingConfig:
     check_row_size: bool = True
     #: Execute the original and re-optimized plans to measure the gain.
     execute_plans: bool = True
+    #: Consult the knowledge base's template index before running SPARQL.
+    use_index: bool = True
+    #: Reuse generated SPARQL text across structurally identical segments.
+    cache_segment_sparql: bool = True
+    #: Default worker count for ``reoptimize_workload`` (1 = serial).
+    parallelism: int = 1
 
 
 @dataclass
@@ -106,6 +119,9 @@ class QueryReoptimization:
 class MatchingEngine:
     """Re-optimizes queries online using the knowledge base."""
 
+    #: Upper bound on cached generated-SPARQL texts.
+    SPARQL_CACHE_SIZE = 1024
+
     def __init__(
         self,
         database: Database,
@@ -115,8 +131,50 @@ class MatchingEngine:
         self.database = database
         self.knowledge_base = knowledge_base
         self.config = config or MatchingConfig()
+        self._sparql_cache = LruCache(self.SPARQL_CACHE_SIZE)
+
+    @property
+    def sparql_cache_hits(self) -> int:
+        return self._sparql_cache.hits
+
+    @property
+    def sparql_cache_misses(self) -> int:
+        return self._sparql_cache.misses
 
     # ------------------------------------------------------------------
+
+    def _generated_sparql(self, segment: PlanNode) -> GeneratedSparql:
+        """Generate (or fetch from cache) the matching query for one segment."""
+        if not self.config.cache_segment_sparql:
+            return sparql_for_subplan(
+                segment,
+                catalog=self.database.catalog,
+                check_row_size=self.config.check_row_size,
+                cardinality_tolerance=self.config.cardinality_tolerance,
+            )
+        key = segment_cache_key(
+            segment,
+            catalog=self.database.catalog,
+            check_row_size=self.config.check_row_size,
+            cardinality_tolerance=self.config.cardinality_tolerance,
+        )
+        text = self._sparql_cache.get(key)
+        if text is not None:
+            node_for_variable, label_variables = variable_maps_for(segment)
+            return GeneratedSparql(
+                text=text,
+                node_for_variable=node_for_variable,
+                label_variables=label_variables,
+                cardinality_tolerance=self.config.cardinality_tolerance,
+            )
+        generated = sparql_for_subplan(
+            segment,
+            catalog=self.database.catalog,
+            check_row_size=self.config.check_row_size,
+            cardinality_tolerance=self.config.cardinality_tolerance,
+        )
+        self._sparql_cache.put(key, generated.text)
+        return generated
 
     def match_plan(self, qgm: Qgm) -> Tuple[List[TemplateMatch], float]:
         """Match a QGM's segments against the knowledge base.
@@ -134,13 +192,10 @@ class MatchingEngine:
             segment_aliases = set(segment.aliases())
             if segment_aliases & claimed_aliases:
                 continue
-            generated = sparql_for_subplan(
-                segment,
-                catalog=self.database.catalog,
-                check_row_size=self.config.check_row_size,
-                cardinality_tolerance=self.config.cardinality_tolerance,
+            generated = self._generated_sparql(segment)
+            found = self.knowledge_base.match(
+                generated, subplan_root=segment, use_index=self.config.use_index
             )
-            found = self.knowledge_base.match(generated, subplan_root=segment)
             if not found:
                 continue
             best = max(found, key=lambda match: match.template.improvement)
@@ -207,13 +262,34 @@ class MatchingEngine:
         self,
         queries: Sequence[Union[str, Tuple[str, str]]],
         execute: Optional[bool] = None,
+        parallelism: Optional[int] = None,
     ) -> List[QueryReoptimization]:
-        """Re-optimize a whole workload (list of SQL strings or (name, sql) pairs)."""
-        results = []
+        """Re-optimize a whole workload (list of SQL strings or (name, sql) pairs).
+
+        With ``parallelism > 1`` the queries are processed by a thread pool.
+        Matching is read-only over the knowledge base and every worker gets its
+        own plan objects, so the per-query results -- and, because results are
+        collected in submission order, the returned list -- are identical to
+        the serial path.
+        """
+        parallelism = self.config.parallelism if parallelism is None else parallelism
+        named: List[Tuple[str, str]] = []
         for position, entry in enumerate(queries, start=1):
             if isinstance(entry, tuple):
-                query_name, sql = entry
+                named.append(entry)
             else:
-                query_name, sql = f"Q{position}", entry
-            results.append(self.reoptimize(sql, query_name=query_name, execute=execute))
-        return results
+                named.append((f"Q{position}", entry))
+        if parallelism <= 1 or len(named) <= 1:
+            return [
+                self.reoptimize(sql, query_name=query_name, execute=execute)
+                for query_name, sql in named
+            ]
+        with ThreadPoolExecutor(max_workers=parallelism) as pool:
+            return list(
+                pool.map(
+                    lambda entry: self.reoptimize(
+                        entry[1], query_name=entry[0], execute=execute
+                    ),
+                    named,
+                )
+            )

@@ -39,6 +39,9 @@ class GeneratedSparql:
     #: variable name of the table-label variable -> scan node it describes
     label_variables: Dict[str, PlanNode] = field(default_factory=dict)
     template_variable: str = "template"
+    #: tolerance the FILTER values were generated with (consumed by the
+    #: knowledge base's index so its pre-filter applies the same comparison).
+    cardinality_tolerance: float = 1.0
 
 
 class _InternalHandles:
@@ -59,10 +62,61 @@ def _result_handler(node: PlanNode) -> str:
     return f"pop_{node.operator_id}"
 
 
+def _label_handler(node: PlanNode) -> str:
+    """Variable name for a scan's table-label binding (``label_Q3``)."""
+    return f"label_{node.table_alias or node.operator_id}"
+
+
 def _format_value(value: float) -> str:
     if abs(value - round(value)) < 1e-9:
         return str(int(round(value)))
     return f"{value:.4f}"
+
+
+def variable_maps_for(root: PlanNode) -> Tuple[Dict[str, PlanNode], Dict[str, PlanNode]]:
+    """Rebuild the variable -> node mappings a generated query uses.
+
+    Variable names are a pure function of the sub-plan (operator ids and table
+    instances), so a cached SPARQL text can be re-attached to a structurally
+    identical segment by recomputing only these maps.
+    """
+    node_for_variable: Dict[str, PlanNode] = {}
+    label_variables: Dict[str, PlanNode] = {}
+    for node in root.walk():
+        node_for_variable[_result_handler(node)] = node
+        if node.is_scan:
+            label_variables[_label_handler(node)] = node
+    return node_for_variable, label_variables
+
+
+def segment_cache_key(
+    root: PlanNode,
+    catalog: Optional[Catalog] = None,
+    check_row_size: bool = True,
+    cardinality_tolerance: float = 1.0,
+) -> Tuple:
+    """Hashable key identifying the SPARQL text ``sparql_for_subplan`` emits.
+
+    Two sub-plans with equal keys generate byte-identical queries: the key
+    covers everything the text depends on -- operator ids and types, tree
+    shape, cardinalities, and (for scans) the catalog statistics the FILTER
+    values embed -- so cached text stays correct across RUNSTATS refreshes.
+    """
+    parts = []
+    for node in root.walk():
+        entry: Tuple = (
+            node.display_type,
+            node.operator_id,
+            node.table_alias or "",
+            len(node.inputs),
+            float(node.estimated_cardinality),
+        )
+        if node.is_scan and node.table and catalog is not None and catalog.has_table(node.table):
+            stats = catalog.statistics(node.table)
+            schema = catalog.table_schema(node.table)
+            entry += (stats.pages, schema.row_width)
+        parts.append(entry)
+    return (tuple(parts), bool(check_row_size), float(cardinality_tolerance))
 
 
 def sparql_for_subplan(
@@ -79,13 +133,11 @@ def sparql_for_subplan(
     """
     handles = _InternalHandles()
     nodes = list(root.walk())
-    node_for_variable: Dict[str, PlanNode] = {}
-    label_variables: Dict[str, PlanNode] = {}
+    node_for_variable, label_variables = variable_maps_for(root)
     where: List[str] = []
 
     for node in nodes:
         variable = _result_handler(node)
-        node_for_variable[variable] = node
         where.append(f" ?{variable} predURI:hasPopType '{node.display_type}' .")
         where.append(f" ?{variable} kbURI:inTemplate ?template .")
 
@@ -117,9 +169,7 @@ def sparql_for_subplan(
                 where.append(f"   FILTER ( ?{row_high} >= {schema.row_width}) .")
 
         if node.is_scan:
-            label_variable = f"label_{node.table_alias or node.operator_id}"
-            label_variables[label_variable] = node
-            where.append(f" ?{variable} kbURI:hasTableLabel ?{label_variable} .")
+            where.append(f" ?{variable} kbURI:hasTableLabel ?{_label_handler(node)} .")
 
     # Relationship handlers: one hasOutputStream edge per child -> parent link.
     for node in nodes:
@@ -152,4 +202,5 @@ def sparql_for_subplan(
         text=text,
         node_for_variable=node_for_variable,
         label_variables=label_variables,
+        cardinality_tolerance=cardinality_tolerance,
     )

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Union
 
+from repro.cache import LruCache
+
 from repro.engine.catalog import Catalog
 from repro.engine.config import DbConfig
 from repro.engine.executor.db2batch import BatchMeasurement, Db2Batch
@@ -31,6 +33,9 @@ from repro.engine.statistics import TableStatistics
 class Database:
     """An in-memory database instance: catalog + optimizer + executor."""
 
+    #: Number of optimized plans kept by the explain cache.
+    EXPLAIN_CACHE_SIZE = 256
+
     def __init__(self, config: Optional[DbConfig] = None, name: str = "GALODB"):
         self.name = name
         self.config = config or DbConfig()
@@ -38,20 +43,43 @@ class Database:
         self.optimizer = Optimizer(self.catalog, self.config)
         self.executor = Executor(self.catalog, self.config)
         self.random_plan_generator = RandomPlanGenerator(self.catalog, self.config)
+        # Plan cache for ``explain``: re-optimizing a workload plans every
+        # query at least once and matched queries twice, and batch/parallel
+        # re-optimization replans recurring statements constantly.  Keyed by
+        # (sql, guideline xml); invalidated whenever DDL or statistics change.
+        self._explain_cache = LruCache(self.EXPLAIN_CACHE_SIZE)
 
     # -- DDL / DML -----------------------------------------------------------
 
     def create_table(self, schema: TableSchema) -> None:
         self.catalog.create_table(schema)
+        self.invalidate_plan_cache()
 
     def create_index(self, index: Index) -> None:
         self.catalog.create_index(index)
+        self.invalidate_plan_cache()
 
     def load_rows(self, table: str, rows: Iterable[dict]) -> int:
-        return self.catalog.load_rows(table, rows)
+        added = self.catalog.load_rows(table, rows)
+        self.invalidate_plan_cache()
+        return added
 
     def runstats(self, table: str) -> TableStatistics:
-        return self.catalog.runstats(table)
+        stats = self.catalog.runstats(table)
+        self.invalidate_plan_cache()
+        return stats
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop cached plans (called on any DDL / data / statistics change)."""
+        self._explain_cache.clear()
+
+    @property
+    def explain_cache_hits(self) -> int:
+        return self._explain_cache.hits
+
+    @property
+    def explain_cache_misses(self) -> int:
+        return self._explain_cache.misses
 
     @property
     def tables(self) -> List[str]:
@@ -68,8 +96,25 @@ class Database:
         guidelines: Union[GuidelineDocument, str, None] = None,
         query_name: str = "",
     ) -> Qgm:
-        """Optimize ``sql`` (optionally with guidelines) and return the QGM."""
-        return self.optimizer.optimize_sql(sql, guidelines=guidelines, query_name=query_name)
+        """Optimize ``sql`` (optionally with guidelines) and return the QGM.
+
+        Plans are cached per (sql, guidelines); a hit returns a fresh deep
+        copy, so callers may annotate the returned QGM (the executor fills in
+        actual cardinalities) without corrupting the cached plan or racing
+        with other threads.
+        """
+        key = (sql, _guideline_cache_key(guidelines))
+        cached = self._explain_cache.get(key)
+        if cached is not None:
+            # The copy happens outside the cache lock: cached plans are never
+            # mutated after insertion, and O(plan) copies under a shared lock
+            # would serialize parallel re-optimization workers.
+            clone = cached.copy()
+            clone.query_name = query_name
+            return clone
+        qgm = self.optimizer.optimize_sql(sql, guidelines=guidelines, query_name=query_name)
+        self._explain_cache.put(key, qgm.copy())
+        return qgm
 
     def random_plans(self, sql: str, count: int, query_name: str = "") -> List[Qgm]:
         """Generate random alternative plans via the Random Plan Generator."""
@@ -94,3 +139,14 @@ class Database:
         """Benchmark a plan the way the paper uses ``db2batch``."""
         batch = Db2Batch(self.catalog, self.config, runs=runs)
         return batch.benchmark(qgm)
+
+
+def _guideline_cache_key(
+    guidelines: Union[GuidelineDocument, str, None]
+) -> Optional[str]:
+    """Serialize a guideline argument into a stable cache-key component."""
+    if guidelines is None:
+        return None
+    if isinstance(guidelines, str):
+        return guidelines
+    return guidelines.to_xml()

@@ -11,6 +11,7 @@ bloom-filter hash joins), and random access paths, all costed by the same
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional, Sequence
 
 from repro.engine.catalog import Catalog
@@ -38,7 +39,10 @@ class RandomPlanGenerator:
         estimator = CardinalityEstimator(self.catalog, rewritten)
         cost_model = CostModel(self.catalog, self.config)
         builder = PlanBuilder(self.catalog, rewritten, estimator, cost_model)
-        rng = random.Random(self.seed ^ hash(query.sql) & 0xFFFFFFFF)
+        # crc32 rather than hash(): str hashes are salted per process
+        # (PYTHONHASHSEED), which made the generated plan set -- and therefore
+        # what the learning engine discovers -- vary from run to run.
+        rng = random.Random(self.seed ^ zlib.crc32(query.sql.encode("utf-8")))
 
         plans: List[Qgm] = []
         signatures = set()

@@ -4,6 +4,16 @@ The ``mini_db`` fixture is deliberately small (a few thousand rows) yet skewed
 and correlated the same way the real workloads are, so optimizer mis-estimation
 -- and therefore GALO's learning opportunities -- are present in every test
 that needs them.
+
+Test tiers
+----------
+Long-running tests (workload builds, offline learning, experiment sweeps) are
+marked ``slow``.  The fast development loop is::
+
+    PYTHONPATH=src python -m pytest -q -m "not slow"
+
+which finishes in a few seconds; the tier-1 verification command
+(``PYTHONPATH=src python -m pytest -x -q``) still runs everything.
 """
 
 from __future__ import annotations
@@ -11,6 +21,14 @@ from __future__ import annotations
 import random
 
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running integration / experiment tests "
+        '(deselect with -m "not slow")',
+    )
 
 from repro.engine.config import DbConfig
 from repro.engine.database import Database

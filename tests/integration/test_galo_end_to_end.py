@@ -2,10 +2,12 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.galo import Galo
 from repro.core.knowledge_base import KnowledgeBase
 from repro.core.learning.engine import LearningConfig
-from repro.core.matching.engine import MatchingConfig
+from repro.core.matching.engine import MatchingConfig, MatchingEngine
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +50,28 @@ class TestOfflineLearning:
         loaded = KnowledgeBase.load(str(tmp_path))
         assert len(loaded) == galo.template_count
 
+    def test_save_load_reoptimize_round_trip(
+        self, learned_tpcds, tiny_tpcds_workload, tmp_path
+    ):
+        """A reloaded knowledge base re-optimizes the workload identically."""
+        galo, _ = learned_tpcds
+        galo.save_knowledge_base(str(tmp_path))
+        fresh = Galo(
+            tiny_tpcds_workload.database, matching_config=MatchingConfig(max_joins=2)
+        )
+        fresh.load_knowledge_base(str(tmp_path))
+        assert fresh.template_count == galo.template_count
+        for template in fresh.knowledge_base.all_templates():
+            assert all(isinstance(key, int) for key in template.cardinality_bounds)
+        before = galo.reoptimize_workload(tiny_tpcds_workload.queries[:12], execute=False)
+        after = fresh.reoptimize_workload(tiny_tpcds_workload.queries[:12], execute=False)
+        assert [r.matched_template_ids for r in after] == [
+            r.matched_template_ids for r in before
+        ]
+        assert [r.guideline_document.to_xml() for r in after] == [
+            r.guideline_document.to_xml() for r in before
+        ]
+
 
 class TestOnlineReoptimization:
     def test_workload_reoptimization_never_hurts_changed_plans(
@@ -79,6 +103,51 @@ class TestOnlineReoptimization:
         result = galo.reoptimize(sql, query_name="single-table")
         assert not result.was_reoptimized
         assert result.original_qgm is result.reoptimized_qgm
+
+
+class TestIndexedMatchingEquivalence:
+    """The paper's Exp-3 precondition: indexing must not change what matches."""
+
+    @staticmethod
+    def assert_workload_equivalence(galo, workload):
+        engine = galo.matching_engine
+        brute_engine = MatchingEngine(
+            engine.database,
+            galo.knowledge_base,
+            MatchingConfig(
+                max_joins=engine.config.max_joins,
+                cardinality_tolerance=engine.config.cardinality_tolerance,
+                check_row_size=engine.config.check_row_size,
+                use_index=False,
+            ),
+        )
+        for name, sql in workload.queries:
+            qgm = workload.database.explain(sql, query_name=name)
+            indexed, _ = engine.match_plan(qgm)
+            brute, _ = brute_engine.match_plan(workload.database.explain(sql, query_name=name))
+            assert [m.template.template_id for m in indexed] == [
+                m.template.template_id for m in brute
+            ], f"indexed/brute mismatch for {name}"
+            assert [m.label_to_alias for m in indexed] == [
+                m.label_to_alias for m in brute
+            ], f"label binding mismatch for {name}"
+
+    def test_every_tpcds_query_matches_identically(
+        self, learned_tpcds, tiny_tpcds_workload
+    ):
+        galo, _ = learned_tpcds
+        self.assert_workload_equivalence(galo, tiny_tpcds_workload)
+
+    def test_every_client_query_matches_identically(
+        self, learned_tpcds, tiny_client_workload
+    ):
+        galo_tpcds, _ = learned_tpcds
+        client_galo = Galo(
+            tiny_client_workload.database,
+            knowledge_base=galo_tpcds.knowledge_base,
+            matching_config=MatchingConfig(max_joins=2),
+        )
+        self.assert_workload_equivalence(client_galo, tiny_client_workload)
 
 
 class TestCrossWorkloadReuse:

@@ -8,6 +8,8 @@ join whose cardinality the optimizer badly over-estimates.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.planutils import join_tree_root
 from repro.engine.optimizer.builder import PlanBuilder
 from repro.engine.optimizer.rewrite import rewrite_query

@@ -80,6 +80,35 @@ class TestTemplateStorage:
         assert clone.template_id == template.template_id
         assert clone.cardinality_bounds == template.cardinality_bounds
 
+    def test_galo_save_load_reoptimize_round_trip(self, mini_db, tmp_path):
+        """save -> load -> reoptimize through the Galo facade is lossless."""
+        from repro.core.galo import Galo
+        from repro.core.matching.engine import MatchingConfig
+
+        galo = Galo(mini_db, matching_config=MatchingConfig(max_joins=3))
+        template, _ = make_template(mini_db, galo.knowledge_base)
+        before = galo.reoptimize(SQL, query_name="q", execute=False)
+        assert before.was_reoptimized
+
+        galo.save_knowledge_base(str(tmp_path))
+        fresh = Galo(mini_db, matching_config=MatchingConfig(max_joins=3))
+        loaded = fresh.load_knowledge_base(str(tmp_path))
+        # Both engines must now be wired to the reloaded knowledge base.
+        assert fresh.knowledge_base is loaded
+        assert fresh.matching_engine.knowledge_base is loaded
+        assert fresh.learning_engine.knowledge_base is loaded
+        # JSON serialization stringifies the operator-id keys; loading must
+        # restore them as ints or bound lookups silently stop working.
+        restored = loaded.template(template.template_id)
+        assert restored.cardinality_bounds
+        assert all(isinstance(key, int) for key in restored.cardinality_bounds)
+        assert restored.cardinality_bounds == template.cardinality_bounds
+
+        after = fresh.reoptimize(SQL, query_name="q", execute=False)
+        assert after.matched_template_ids == before.matched_template_ids
+        assert after.guideline_document.to_xml() == before.guideline_document.to_xml()
+        assert after.reoptimized_qgm.shape_signature() == before.reoptimized_qgm.shape_signature()
+
 
 class TestTemplateMatching:
     def test_same_plan_matches_its_own_template(self, mini_db):

@@ -1,0 +1,129 @@
+"""Batched / parallel workload re-optimization must be a pure speedup.
+
+``reoptimize_workload(parallelism=N)`` distributes queries over a thread pool;
+matching is read-only over the knowledge base and each worker plans against
+its own QGM copies, so the outcome -- query names, matched template ids,
+remapped guideline documents, chosen plans, and list order -- must be
+identical to the serial path.
+"""
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.matching.engine import MatchingConfig, MatchingEngine
+from test_template_index import randomized_knowledge_base
+
+WORKLOAD = [
+    (
+        "q_join2",
+        "SELECT i_category, COUNT(*) FROM sales, item "
+        "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category",
+    ),
+    (
+        "q_join3",
+        "SELECT i_category, SUM(s_price) FROM sales, item, date_dim "
+        "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND d_year >= 2018 "
+        "GROUP BY i_category",
+    ),
+    (
+        "q_join4",
+        "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+        "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND s_outlet_sk = o_outlet_sk "
+        "AND i_category = 'Music' GROUP BY i_category, o_state",
+    ),
+    (
+        "q_filter_range",
+        "SELECT i_class, COUNT(*) FROM sales, item, date_dim "
+        "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk "
+        "AND d_date BETWEEN 12500 AND 12600 GROUP BY i_class",
+    ),
+    (
+        "q_single",
+        "SELECT i_category FROM item WHERE i_category = 'Music'",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def matching_engine(mini_db):
+    kb = randomized_knowledge_base(mini_db)
+    return MatchingEngine(mini_db, kb, MatchingConfig(max_joins=3))
+
+
+def outcome(results):
+    """The deterministic face of a reoptimization result list."""
+    return [
+        (
+            result.query_name,
+            result.matched_template_ids,
+            result.guideline_document.to_xml(),
+            result.original_qgm.shape_signature(),
+            result.reoptimized_qgm.shape_signature(),
+            result.original_elapsed_ms,
+            result.reoptimized_elapsed_ms,
+        )
+        for result in results
+    ]
+
+
+class TestParallelWorkloadReoptimization:
+    @pytest.mark.parametrize("parallelism", [2, 4, 8])
+    def test_parallel_equals_serial(self, matching_engine, parallelism):
+        serial = matching_engine.reoptimize_workload(WORKLOAD, execute=True, parallelism=1)
+        parallel = matching_engine.reoptimize_workload(
+            WORKLOAD, execute=True, parallelism=parallelism
+        )
+        assert outcome(parallel) == outcome(serial)
+
+    def test_parallel_without_execution(self, matching_engine):
+        serial = matching_engine.reoptimize_workload(WORKLOAD, execute=False)
+        parallel = matching_engine.reoptimize_workload(
+            WORKLOAD, execute=False, parallelism=4
+        )
+        assert outcome(parallel) == outcome(serial)
+        assert all(result.original_elapsed_ms is None for result in parallel)
+
+    def test_order_follows_submission_order(self, matching_engine):
+        results = matching_engine.reoptimize_workload(
+            WORKLOAD, execute=False, parallelism=4
+        )
+        assert [result.query_name for result in results] == [name for name, _ in WORKLOAD]
+
+    def test_unnamed_queries_get_positional_names(self, matching_engine):
+        results = matching_engine.reoptimize_workload(
+            [sql for _, sql in WORKLOAD[:3]], execute=False, parallelism=2
+        )
+        assert [result.query_name for result in results] == ["Q1", "Q2", "Q3"]
+
+    def test_config_parallelism_default(self, mini_db):
+        engine = MatchingEngine(
+            mini_db,
+            KnowledgeBase(),
+            MatchingConfig(max_joins=3, parallelism=4, execute_plans=False),
+        )
+        results = engine.reoptimize_workload(WORKLOAD)
+        assert [result.query_name for result in results] == [name for name, _ in WORKLOAD]
+
+    def test_repeated_batches_hit_caches(self, mini_db):
+        """Second pass over the same workload reuses plans and SPARQL text."""
+        engine = MatchingEngine(
+            mini_db, randomized_knowledge_base(mini_db, plans_per_query=2),
+            MatchingConfig(max_joins=3),
+        )
+        first = engine.reoptimize_workload(WORKLOAD, execute=False)
+        hits_before = mini_db.explain_cache_hits
+        sparql_misses_before = engine.sparql_cache_misses
+        second = engine.reoptimize_workload(WORKLOAD, execute=False, parallelism=4)
+        assert outcome(second) == outcome(first)
+        assert mini_db.explain_cache_hits > hits_before
+        assert engine.sparql_cache_misses == sparql_misses_before
+        assert engine.sparql_cache_hits > 0
+
+
+class TestGaloFacadeParallelism:
+    def test_galo_reoptimize_workload_parallelism(self, mini_db):
+        galo = Galo(mini_db, matching_config=MatchingConfig(max_joins=3))
+        serial = galo.reoptimize_workload(WORKLOAD, execute=False)
+        parallel = galo.reoptimize_workload(WORKLOAD, execute=False, parallelism=3)
+        assert outcome(parallel) == outcome(serial)
