@@ -3,13 +3,22 @@
 Every benchmark runs against a "laptop" configuration of the workloads so the
 whole harness (`pytest benchmarks/ --benchmark-only`) completes in minutes.
 Scale the :class:`ExperimentSettings` up to approach the paper's setup.
+
+Setting ``GALO_BENCH_TINY=1`` shrinks everything further (CI smoke mode: the
+GitHub Actions workflow runs ``bench_exp1`` this way on every PR and uploads
+the resulting ``BENCH_exp1.json`` so the perf trajectory is tracked).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments.harness import ExperimentSettings, build_bundle, learn_bundle
+from repro.experiments.harness import (
+    ExperimentSettings,
+    bench_tiny_mode,
+    build_bundle,
+    learn_bundle,
+)
 
 BENCH_SETTINGS = ExperimentSettings(
     scale=0.2,
@@ -21,10 +30,21 @@ BENCH_SETTINGS = ExperimentSettings(
     max_variants=2,
 )
 
+#: CI smoke configuration: small enough for a per-PR GitHub Actions run.
+TINY_SETTINGS = ExperimentSettings(
+    scale=0.1,
+    tpcds_query_count=8,
+    client_query_count=8,
+    learning_query_count=2,
+    max_joins=2,
+    random_plans_per_subquery=2,
+    max_variants=1,
+)
+
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
-    return BENCH_SETTINGS
+    return TINY_SETTINGS if bench_tiny_mode() else BENCH_SETTINGS
 
 
 @pytest.fixture(scope="session")

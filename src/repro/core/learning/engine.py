@@ -34,6 +34,7 @@ from repro.core.planutils import (
 )
 from repro.engine.database import Database
 from repro.engine.executor.db2batch import Db2Batch
+from repro.engine.executor.memo import ExecutionMemo
 from repro.engine.optimizer.guidelines import GuidelineDocument, guideline_from_plan
 from repro.engine.plan.explain import explain_summary
 from repro.engine.plan.physical import PlanNode, Qgm
@@ -192,10 +193,16 @@ class LearningEngine:
         analyzed = 0
         templates: List[str] = []
         improvements: List[float] = []
+        # One memo per workload query: the optimizer's plan, every random
+        # plan variant and the parent-validation runs all re-scan the same
+        # tables, so structurally identical scan subtrees execute once and
+        # replay their cold charges into each plan (data is immutable for
+        # the duration of the analysis).
+        memo = ExecutionMemo()
         parent_context: Optional[_ParentContext] = None
         if self.config.validate_on_parent:
             parent_qgm = self.database.optimizer.optimize(bound, query_name=query_name)
-            parent_run = self.database.execute_plan(parent_qgm)
+            parent_run = self.database.execute_plan(parent_qgm, memo=memo)
             parent_context = _ParentContext(
                 query=bound, sql=sql, elapsed_ms=parent_run.elapsed_ms
             )
@@ -211,6 +218,7 @@ class LearningEngine:
                 query_name=query_name,
                 workload_name=workload_name,
                 parent_context=parent_context,
+                memo=memo,
             )
             if template_id is not None:
                 templates.append(template_id)
@@ -234,6 +242,7 @@ class LearningEngine:
         query_name: str,
         workload_name: str,
         parent_context: Optional["_ParentContext"] = None,
+        memo: Optional[ExecutionMemo] = None,
     ) -> Tuple[Optional[str], float]:
         """Benchmark one sub-query's variants; store a template if a rewrite wins."""
         variants = generate_variants(
@@ -243,7 +252,7 @@ class LearningEngine:
         )
         candidates: List[_RewriteCandidate] = []
         for variant in variants:
-            candidate = self._analyze_variant(variant, subquery)
+            candidate = self._analyze_variant(variant, subquery, memo=memo)
             if candidate is not None:
                 candidates.append(candidate)
         if not candidates:
@@ -288,7 +297,7 @@ class LearningEngine:
         guideline_xml = GuidelineDocument(elements=[guideline_element]).to_xml()
 
         if parent_context is not None and not self._improves_parent(
-            concrete_element, parent_context
+            concrete_element, parent_context, memo=memo
         ):
             return None, 0.0
 
@@ -309,7 +318,10 @@ class LearningEngine:
         return template.template_id, improvement
 
     def _improves_parent(
-        self, guideline_element, parent_context: "_ParentContext"
+        self,
+        guideline_element,
+        parent_context: "_ParentContext",
+        memo: Optional[ExecutionMemo] = None,
     ) -> bool:
         """Apply the concrete (un-abstracted) guideline to the parent workload
         query and keep the rewrite only if the whole query gets faster."""
@@ -317,7 +329,7 @@ class LearningEngine:
         guided_qgm = self.database.optimizer.optimize(
             parent_context.query, guidelines=document
         )
-        guided_run = self.database.execute_plan(guided_qgm)
+        guided_run = self.database.execute_plan(guided_qgm, memo=memo)
         if parent_context.elapsed_ms <= 0:
             return False
         improvement = (
@@ -326,7 +338,10 @@ class LearningEngine:
         return improvement >= self.config.parent_improvement_threshold
 
     def _analyze_variant(
-        self, variant: PredicateVariant, subquery: SubQuery
+        self,
+        variant: PredicateVariant,
+        subquery: SubQuery,
+        memo: Optional[ExecutionMemo] = None,
     ) -> Optional[_RewriteCandidate]:
         """Benchmark the optimizer's plan against random plans for one variant."""
         optimizer_qgm = self.database.optimizer.optimize(
@@ -339,9 +354,10 @@ class LearningEngine:
             self.database.catalog,
             self.database.config,
             runs=self.config.runs_per_plan,
+            executor=self.database.executor,
         )
-        measurements = [batch.benchmark(optimizer_qgm)]
-        measurements += [batch.benchmark(qgm) for qgm in random_qgms]
+        measurements = [batch.benchmark(optimizer_qgm, memo=memo)]
+        measurements += [batch.benchmark(qgm, memo=memo) for qgm in random_qgms]
         ranked = rank_measurements(measurements)
 
         optimizer_ranked = next(

@@ -56,6 +56,13 @@ class DbConfig:
     buffer_pool_pages: int = 256
     sort_heap_pages: int = 128
 
+    #: Execution engine: ``"vectorized"`` (column batches + position vectors,
+    #: the default) or ``"row"`` (legacy row-at-a-time engine, kept as the
+    #: differential-testing oracle).  Both produce bit-identical rows,
+    #: runtime metrics and simulated elapsed times; see
+    #: :mod:`repro.engine.executor.vectorized`.
+    executor: str = "vectorized"
+
     # --- optimizer cost model (timerons) ---
     opt_seq_page_cost: float = 1.0
     opt_rand_page_cost: float = 4.0

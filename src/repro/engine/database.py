@@ -20,7 +20,9 @@ from repro.cache import LruCache
 from repro.engine.catalog import Catalog
 from repro.engine.config import DbConfig
 from repro.engine.executor.db2batch import BatchMeasurement, Db2Batch
-from repro.engine.executor.executor import ExecutionResult, Executor
+from repro.engine.executor.executor import ExecutionResult
+from repro.engine.executor.factory import make_executor
+from repro.engine.executor.memo import ExecutionMemo
 from repro.engine.optimizer.guidelines import GuidelineDocument
 from repro.engine.optimizer.optimizer import Optimizer
 from repro.engine.optimizer.random_plans import RandomPlanGenerator
@@ -38,10 +40,14 @@ class Database:
 
     def __init__(self, config: Optional[DbConfig] = None, name: str = "GALODB"):
         self.name = name
-        self.config = config or DbConfig()
+        # Own a private copy: every component (catalog, optimizer, executor,
+        # per-table storage) shares this one object, and ``set_executor``
+        # mutates it -- copying keeps that mutation from leaking into other
+        # Database instances built from the same caller-owned DbConfig.
+        self.config = (config or DbConfig()).with_overrides()
         self.catalog = Catalog(self.config)
         self.optimizer = Optimizer(self.catalog, self.config)
-        self.executor = Executor(self.catalog, self.config)
+        self.executor = make_executor(self.catalog, self.config)
         self.random_plan_generator = RandomPlanGenerator(self.catalog, self.config)
         # Plan cache for ``explain``: re-optimizing a workload plans every
         # query at least once and matched queries twice, and batch/parallel
@@ -123,8 +129,27 @@ class Database:
 
     # -- execution ------------------------------------------------------------
 
-    def execute_plan(self, qgm: Qgm) -> ExecutionResult:
-        return self.executor.execute(qgm)
+    def set_executor(self, engine: str) -> None:
+        """Switch the execution engine (``"vectorized"`` or ``"row"``).
+
+        Both engines are result- and charge-identical; the row engine exists
+        as the differential-testing oracle and for perf baselines.  The
+        database owns its config (copied at construction), so mutating the
+        engine field here stays consistent across every component that
+        shares it (``catalog.config``, default ``Db2Batch`` construction)
+        without affecting other Database instances.
+        """
+        # Validate before mutating, so an unknown engine leaves state intact.
+        make_executor(self.catalog, self.config.with_overrides(executor=engine))
+        self.config.executor = engine
+        self.executor = make_executor(self.catalog, self.config)
+
+    def execute_plan(
+        self, qgm: Qgm, memo: Optional[ExecutionMemo] = None
+    ) -> ExecutionResult:
+        """Execute a plan; ``memo`` shares scan subtrees across plans (see
+        :mod:`repro.engine.executor.memo`; ignored by the row engine)."""
+        return self.executor.execute(qgm, memo=memo)
 
     def execute_sql(
         self,

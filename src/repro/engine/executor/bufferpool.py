@@ -37,10 +37,33 @@ class BufferPool:
 
     def access_sequential(self, table: str, first_page: int, page_count: int) -> int:
         """Touch a run of consecutive pages; returns the number of misses."""
+        return self.access_many(table, range(first_page, first_page + max(0, page_count)))
+
+    def access_many(self, table: str, pages) -> int:
+        """Touch ``pages`` in order; returns the number of misses.
+
+        Semantically identical to calling :meth:`access` per page, with the
+        LRU bookkeeping inlined -- the vectorized executor and the memo's
+        trace replay drive millions of accesses through this path.
+        """
+        resident = self._pages
+        capacity = self.capacity
+        popitem = resident.popitem
+        move_to_end = resident.move_to_end
+        touched = 0
         misses = 0
-        for page in range(first_page, first_page + max(0, page_count)):
-            if not self.access(table, page):
+        for page in pages:
+            key = (table, page)
+            touched += 1
+            if key in resident:
+                move_to_end(key)
+            else:
                 misses += 1
+                resident[key] = None
+                if len(resident) > capacity:
+                    popitem(last=False)
+        self.logical_reads += touched
+        self.physical_reads += misses
         return misses
 
     @property

@@ -17,7 +17,9 @@ from typing import List, Optional
 
 from repro.engine.catalog import Catalog
 from repro.engine.config import DbConfig
-from repro.engine.executor.executor import ExecutionResult, Executor
+from repro.engine.executor.executor import ExecutionResult
+from repro.engine.executor.factory import make_executor
+from repro.engine.executor.memo import ExecutionMemo
 from repro.engine.executor.metrics import RuntimeMetrics
 from repro.engine.plan.physical import Qgm
 
@@ -51,17 +53,23 @@ class Db2Batch:
         runs: int = 5,
         interference_probability: float = 0.12,
         interference_factor: float = 2.5,
+        executor=None,
     ):
         self.catalog = catalog
         self.config = config or catalog.config
-        self.executor = Executor(catalog, self.config)
+        self.executor = executor or make_executor(catalog, self.config)
         self.runs = max(1, runs)
         self.interference_probability = interference_probability
         self.interference_factor = interference_factor
 
-    def benchmark(self, qgm: Qgm) -> BatchMeasurement:
-        """Execute ``qgm`` once for real, then derive noisy per-run timings."""
-        result = self.executor.execute(qgm)
+    def benchmark(self, qgm: Qgm, memo: Optional[ExecutionMemo] = None) -> BatchMeasurement:
+        """Execute ``qgm`` once for real, then derive noisy per-run timings.
+
+        ``memo`` (vectorized engine only) shares structurally identical scan
+        subtrees across the candidate plans of one learning sweep; charges are
+        replayed cold, so the measurement is identical with or without it.
+        """
+        result = self.executor.execute(qgm, memo=memo)
         base = result.elapsed_ms
         rng = random.Random(self._seed_for(qgm))
         samples = []

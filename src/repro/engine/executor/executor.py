@@ -1,4 +1,4 @@
-"""Plan executor with runtime simulation.
+"""Row-at-a-time plan executor with runtime simulation.
 
 Plans are executed for real against the in-memory tables (producing correct
 result rows and *actual* per-operator cardinalities), while a deterministic
@@ -7,6 +7,13 @@ performed into a simulated elapsed time.  The combination gives the learning
 engine exactly what ``db2batch`` gives the paper: true cardinalities and a
 repeatable "runtime" to rank plans by, including the pathologies (index-scan
 flooding, sort spills, oversized hash builds) the optimizer's estimates miss.
+
+This module is the *legacy* engine: every operator materializes a qualified
+``dict`` per row.  The default engine is the vectorized batch executor in
+:mod:`repro.engine.executor.vectorized`, which produces bit-identical rows,
+metrics and simulated elapsed times while exchanging column batches instead
+of row dicts; this row engine is kept as the differential-testing oracle and
+is selected with ``DbConfig.executor = "row"``.
 """
 
 from __future__ import annotations
@@ -38,6 +45,62 @@ class ExecutionResult:
         return len(self.rows)
 
 
+def equi_join_keys(
+    node: PlanNode, outer_aliases: set, inner_aliases: set
+) -> List[Tuple[ColumnRef, ColumnRef]]:
+    """Pairs of (outer column, inner column) for the join's equi-predicates."""
+    keys = []
+    for predicate in node.join_predicates:
+        left, right = predicate.left, predicate.right
+        if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
+            continue
+        if left.qualifier in outer_aliases and right.qualifier in inner_aliases:
+            keys.append((left, right))
+        elif right.qualifier in outer_aliases and left.qualifier in inner_aliases:
+            keys.append((right, left))
+    return keys
+
+
+def index_qualifying_row_ids(node: PlanNode, index_data, alias: str) -> List[int]:
+    """Row ids an index scan qualifies, in index-key order.
+
+    Shared by the row and vectorized engines so both resolve sargable
+    predicates -- equality, IN lists, ranges -- identically.
+    """
+    from repro.engine.expressions import Between, InList, Literal
+
+    key_column = index_data.definition.column
+    key_ref = ColumnRef(alias, key_column)
+    equality_values: Optional[List[Any]] = None
+    range_low: Optional[Any] = None
+    range_high: Optional[Any] = None
+    for predicate in node.predicates:
+        if isinstance(predicate, Comparison) and predicate.left == key_ref and isinstance(predicate.right, Literal):
+            if predicate.op == "=":
+                equality_values = [predicate.right.value]
+            elif predicate.op in (">", ">="):
+                range_low = predicate.right.value
+            elif predicate.op in ("<", "<="):
+                range_high = predicate.right.value
+        elif isinstance(predicate, Between) and predicate.column == key_ref:
+            range_low, range_high = predicate.low.value, predicate.high.value
+        elif isinstance(predicate, InList) and predicate.column == key_ref:
+            equality_values = list(predicate.values)
+
+    if equality_values is not None:
+        row_ids: List[int] = []
+        for value in equality_values:
+            row_ids.extend(index_data.lookup(value))
+        return row_ids
+    if range_low is not None or range_high is not None:
+        return index_data.lookup_range(range_low, range_high)
+    # No sargable predicate: full index scan in key order.
+    row_ids = []
+    for key in sorted(index_data.entries.keys(), key=lambda k: (k is None, str(k), k if isinstance(k, (int, float)) else 0)):
+        row_ids.extend(index_data.entries[key])
+    return row_ids
+
+
 class Executor:
     """Executes QGM plans against the catalog's in-memory data."""
 
@@ -47,8 +110,12 @@ class Executor:
 
     # ------------------------------------------------------------------
 
-    def execute(self, qgm: Qgm) -> ExecutionResult:
-        """Execute ``qgm``; annotates every node's ``actual_cardinality``."""
+    def execute(self, qgm: Qgm, memo=None) -> ExecutionResult:
+        """Execute ``qgm``; annotates every node's ``actual_cardinality``.
+
+        ``memo`` is accepted for interface parity with the vectorized engine
+        and ignored: the row engine always executes cold.
+        """
         metrics = RuntimeMetrics()
         buffer_pool = BufferPool(self.config.buffer_pool_pages)
         rows = self._execute_node(qgm.root, metrics, buffer_pool)
@@ -147,38 +214,7 @@ class Executor:
         self, node: PlanNode, index_data, alias: str
     ) -> List[int]:
         """Row ids the index scan qualifies, in index-key order."""
-        from repro.engine.expressions import Between, InList, Literal
-
-        key_column = index_data.definition.column
-        key_ref = ColumnRef(alias, key_column)
-        equality_values: Optional[List[Any]] = None
-        range_low: Optional[Any] = None
-        range_high: Optional[Any] = None
-        for predicate in node.predicates:
-            if isinstance(predicate, Comparison) and predicate.left == key_ref and isinstance(predicate.right, Literal):
-                if predicate.op == "=":
-                    equality_values = [predicate.right.value]
-                elif predicate.op in (">", ">="):
-                    range_low = predicate.right.value
-                elif predicate.op in ("<", "<="):
-                    range_high = predicate.right.value
-            elif isinstance(predicate, Between) and predicate.column == key_ref:
-                range_low, range_high = predicate.low.value, predicate.high.value
-            elif isinstance(predicate, InList) and predicate.column == key_ref:
-                equality_values = list(predicate.values)
-
-        if equality_values is not None:
-            row_ids: List[int] = []
-            for value in equality_values:
-                row_ids.extend(index_data.lookup(value))
-            return row_ids
-        if range_low is not None or range_high is not None:
-            return index_data.lookup_range(range_low, range_high)
-        # No sargable predicate: full index scan in key order.
-        row_ids = []
-        for key in sorted(index_data.entries.keys(), key=lambda k: (k is None, str(k), k if isinstance(k, (int, float)) else 0)):
-            row_ids.extend(index_data.entries[key])
-        return row_ids
+        return index_qualifying_row_ids(node, index_data, alias)
 
     # -- joins ----------------------------------------------------------------
 
@@ -187,16 +223,7 @@ class Executor:
         node: PlanNode, outer_aliases: set, inner_aliases: set
     ) -> List[Tuple[ColumnRef, ColumnRef]]:
         """Pairs of (outer column, inner column) for the join's equi-predicates."""
-        keys = []
-        for predicate in node.join_predicates:
-            left, right = predicate.left, predicate.right
-            if not isinstance(left, ColumnRef) or not isinstance(right, ColumnRef):
-                continue
-            if left.qualifier in outer_aliases and right.qualifier in inner_aliases:
-                keys.append((left, right))
-            elif right.qualifier in outer_aliases and left.qualifier in inner_aliases:
-                keys.append((right, left))
-        return keys
+        return equi_join_keys(node, outer_aliases, inner_aliases)
 
     def _execute_hash_join(
         self, node: PlanNode, metrics: RuntimeMetrics, pool: BufferPool

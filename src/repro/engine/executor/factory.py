@@ -1,0 +1,33 @@
+"""Execution-engine selection (``DbConfig.executor``)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.catalog import Catalog
+from repro.engine.config import DbConfig
+from repro.engine.executor.executor import Executor
+from repro.engine.executor.vectorized import VectorizedExecutor
+
+#: Engine name -> implementation class.
+ENGINES = {
+    "row": Executor,
+    "vectorized": VectorizedExecutor,
+}
+
+
+def make_executor(catalog: Catalog, config: Optional[DbConfig] = None):
+    """Build the execution engine selected by ``config.executor``.
+
+    ``"vectorized"`` (the default) is the batch engine; ``"row"`` is the
+    legacy row-at-a-time engine kept as the differential-testing oracle.
+    Both produce bit-identical results.
+    """
+    config = config or catalog.config
+    name = getattr(config, "executor", "vectorized")
+    engine = ENGINES.get(name)
+    if engine is None:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {sorted(ENGINES)}"
+        )
+    return engine(catalog, config)

@@ -1,0 +1,145 @@
+"""Shared-subplan memoization for the vectorized executor.
+
+GALO's learning tier executes the optimizer's plan plus every random/guided
+plan variant of one sub-query; those candidate plans re-scan and re-filter the
+same tables over and over.  An :class:`ExecutionMemo` caches the *data*
+outcome of structurally identical scan / FILTER / SORT subtrees -- their
+qualifying position vectors over the table's backing columns -- so each
+subtree is evaluated once per ``learn_query`` instead of once per plan.
+
+Cold-charge accounting rule
+---------------------------
+Caching must not change what any plan is *charged*: the runtime simulation
+ranks plans by simulated elapsed time, and a plan must cost the same whether
+its scans were computed or reused.  Each memo entry therefore records
+
+* ``deltas`` -- the pool-independent metric increments the subtree performed
+  (rows processed, index lookups, CPU/sort work, spills, ...), replayed into
+  the consuming plan's :class:`RuntimeMetrics` on every hit; and
+* ``traces`` -- the exact buffer-pool page access sequence, replayed through
+  the consuming plan's *own* (cold) :class:`BufferPool` so logical/physical
+  reads and random-page flooding are recomputed against that plan's pool
+  state, never copied from another plan's.
+
+The result: simulated ``elapsed_ms``, per-operator actual cardinalities and
+result rows are bit-identical to executing every plan from scratch.
+
+Auxiliary join-side structures (hash-build tables, merge-sort orders,
+nested-loop key maps) are cached in ``aux`` keyed by the memoized child's
+subtree key; they are pure functions of the child's batch, so reuse is safe
+whenever the child itself is memoizable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.engine.executor.bufferpool import BufferPool
+from repro.engine.executor.metrics import RuntimeMetrics
+
+#: A page-access replay step: ``("seq", table, first_page, page_count)`` for a
+#: sequential run (misses are not random I/O), or ``("rand", table, pages)``
+#: for per-row accesses whose misses count as random pages.
+Trace = Tuple[Any, ...]
+
+
+@dataclass
+class MemoEntry:
+    """Cached outcome of one scan/FILTER/SORT subtree execution."""
+
+    #: ``"<alias>.<column>"`` -> backing value array (shared, read-only).
+    columns: Dict[str, Sequence[Any]]
+    #: Qualifying positions into the backing arrays, in output order.
+    positions: Sequence[int]
+    #: Pool-independent metric increments, as (counter name, amount) pairs.
+    #: ``sort_heap_high_water_mark`` is merged with ``max`` instead of ``+``.
+    deltas: Tuple[Tuple[str, int], ...]
+    #: Buffer-pool access sequence to replay into the consuming plan's pool.
+    traces: Tuple[Trace, ...]
+    #: ``actual_cardinality`` for every subtree node below the root, in
+    #: pre-order, so a hit can annotate operators it did not execute.
+    child_cardinalities: Tuple[int, ...] = ()
+
+    def replay(self, metrics: RuntimeMetrics, pool: BufferPool) -> None:
+        """Charge this subtree to ``metrics`` / ``pool`` as if executed cold."""
+        for name, amount in self.deltas:
+            if name == "sort_heap_high_water_mark":
+                metrics.sort_heap_high_water_mark = max(
+                    metrics.sort_heap_high_water_mark, amount
+                )
+            else:
+                setattr(metrics, name, getattr(metrics, name) + amount)
+        for trace in self.traces:
+            if trace[0] == "seq":
+                pool.access_sequential(trace[1], trace[2], trace[3])
+            else:
+                metrics.random_pages += pool.access_many(trace[1], trace[2])
+
+
+@dataclass
+class ExecutionMemo:
+    """Per-learning-scope cache of subtree results + auxiliary join structures.
+
+    Valid only while the underlying table data is unchanged; create one per
+    ``learn_query`` (or per batched plan-evaluation sweep) and discard it.
+    """
+
+    entries: Dict[Hashable, MemoEntry] = field(default_factory=dict)
+    #: (kind, child subtree key, ...) -> cached hash table / sort order / ...
+    aux: Dict[Hashable, Any] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    aux_hits: int = 0
+    aux_misses: int = 0
+
+    def lookup(self, key: Hashable) -> Optional[MemoEntry]:
+        try:
+            entry = self.entries.get(key)
+        except TypeError:  # unhashable predicate somewhere in the key
+            entry = None
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def store(self, key: Hashable, entry: MemoEntry) -> None:
+        try:
+            self.entries[key] = entry
+        except TypeError:
+            pass
+
+    def peek(self, key: Hashable) -> Optional[MemoEntry]:
+        """``lookup`` without touching the hit/miss counters."""
+        try:
+            return self.entries.get(key)
+        except TypeError:
+            return None
+
+    def aux_lookup(self, key: Hashable) -> Any:
+        try:
+            value = self.aux.get(key)
+        except TypeError:
+            value = None
+        if value is None:
+            self.aux_misses += 1
+        else:
+            self.aux_hits += 1
+        return value
+
+    def aux_store(self, key: Hashable, value: Any) -> None:
+        try:
+            self.aux[key] = value
+        except TypeError:
+            pass
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "aux_hits": self.aux_hits,
+            "aux_misses": self.aux_misses,
+            "entries": len(self.entries),
+        }

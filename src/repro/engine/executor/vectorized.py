@@ -1,0 +1,944 @@
+"""Vectorized batch executor.
+
+Operators exchange :class:`Batch` objects -- a mapping of qualified column
+names to backing value arrays plus a *position vector* selecting the live rows
+-- instead of lists of per-row dicts.  Scans filter directly over the table's
+storage columns (zero-copy), predicates are compiled once per plan into
+column-wise closures (:func:`repro.engine.expressions.compile_predicate`),
+hash joins build key -> position maps from column arrays, and sort/group-by
+reorder position vectors with column-wise key extraction.  Result rows are
+only materialized as dicts once, at the plan root.
+
+Equivalence contract
+--------------------
+This engine is charge-identical to the row-at-a-time engine in
+:mod:`repro.engine.executor.executor`: result rows (values *and* dict key
+order), per-operator actual cardinalities, every :class:`RuntimeMetrics`
+counter, buffer-pool hit sequences, and therefore the simulated
+``elapsed_ms`` are bit-identical for every plan.  The differential test suite
+(``tests/unit/test_vectorized_executor.py``) asserts this over randomized
+TPC-DS and client plans; the row engine stays available via
+``DbConfig.executor = "row"`` as the oracle.
+
+Pass an :class:`~repro.engine.executor.memo.ExecutionMemo` to :meth:`execute`
+to share structurally identical scan/FILTER/SORT subtrees across the many
+candidate plans the learning tier evaluates; the memo replays each subtree's
+cold charges into every consuming plan (see ``memo.py`` for the accounting
+rule), so memoized and cold executions are indistinguishable in the output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.config import DbConfig
+from repro.engine.executor.bufferpool import BufferPool
+from repro.engine.executor.executor import (
+    ExecutionResult,
+    equi_join_keys,
+    index_qualifying_row_ids,
+)
+from repro.engine.executor.memo import ExecutionMemo, MemoEntry
+from repro.engine.executor.metrics import RuntimeMetrics
+from repro.engine.expressions import ColumnRef, filter_positions
+from repro.engine.plan.physical import PlanNode, PopType, Qgm
+from repro.engine.storage import TableData
+from repro.errors import PlanError
+
+
+class Batch:
+    """Columns plus a position vector: the unit of data flow between operators.
+
+    ``columns`` maps ``"<alias>.<column>"`` to a full backing array.  When
+    ``sel`` is set, the batch's rows are ``columns[*][sel[0]], ...`` -- scans
+    and filters share the table's storage arrays and only narrow ``sel``.
+    When ``sel`` is ``None`` the arrays are themselves aligned (materialized
+    join / aggregate outputs).  Batches are immutable by convention: backing
+    arrays and position vectors are shared freely and must not be mutated.
+    """
+
+    __slots__ = ("columns", "sel", "length")
+
+    def __init__(
+        self,
+        columns: Dict[str, Sequence[Any]],
+        sel: Optional[Sequence[int]] = None,
+        length: Optional[int] = None,
+    ):
+        self.columns = columns
+        self.sel = sel
+        if sel is not None:
+            self.length = len(sel)
+        elif length is not None:
+            self.length = length
+        else:
+            self.length = len(next(iter(columns.values()))) if columns else 0
+
+    @classmethod
+    def from_rows(cls, rows: List[Dict[str, Any]]) -> "Batch":
+        if not rows:
+            return cls({}, None, 0)
+        columns: Dict[str, List[Any]] = {key: [] for key in rows[0]}
+        for row in rows:
+            for key, values in columns.items():
+                values.append(row.get(key))
+        return cls(columns, None, len(rows))
+
+    def positions(self) -> Sequence[int]:
+        """Positions of the live rows within the backing arrays."""
+        return self.sel if self.sel is not None else range(self.length)
+
+    def column(self, key: str) -> Sequence[Any]:
+        """Values of one column aligned with the batch (missing -> NULLs)."""
+        values = self.columns.get(key)
+        if values is None:
+            return [None] * self.length
+        if self.sel is None:
+            return values
+        return [values[i] for i in self.sel]
+
+    def take(self, picks: Sequence[int]) -> "Batch":
+        """A new batch holding the rows at batch-relative ``picks``."""
+        if self.sel is not None:
+            sel = self.sel
+            return Batch(self.columns, [sel[p] for p in picks])
+        return Batch(
+            {key: [values[p] for p in picks] for key, values in self.columns.items()},
+            None,
+            len(picks),
+        )
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Materialize per-row dicts (same key order as the row engine)."""
+        if not self.columns:
+            return [{} for _ in range(self.length)]
+        keys = list(self.columns)
+        gathered = [self.column(key) for key in keys]
+        return [dict(zip(keys, values)) for values in zip(*gathered)]
+
+
+def _gather_columns(batch: Batch, picks: Sequence[int]) -> Dict[str, List[Any]]:
+    """Materialize every column of ``batch`` at batch-relative ``picks``."""
+    columns: Dict[str, List[Any]] = {}
+    sel = batch.sel
+    for key, values in batch.columns.items():
+        if sel is None:
+            columns[key] = [values[p] for p in picks]
+        else:
+            columns[key] = [values[sel[p]] for p in picks]
+    return columns
+
+
+def _merge_batches(
+    outer: Batch,
+    outer_picks: Sequence[int],
+    inner: Batch,
+    inner_picks: Sequence[int],
+) -> Batch:
+    """Join output: outer columns then inner columns (inner wins collisions)."""
+    columns = _gather_columns(outer, outer_picks)
+    columns.update(_gather_columns(inner, inner_picks))
+    return Batch(columns, None, len(outer_picks))
+
+
+class VectorizedExecutor:
+    """Executes QGM plans over column batches; charge-identical to ``Executor``."""
+
+    def __init__(self, catalog: Catalog, config: Optional[DbConfig] = None):
+        self.catalog = catalog
+        self.config = config or catalog.config
+        self._handlers: Dict[PopType, Callable] = {
+            PopType.RETURN: self._execute_passthrough,
+            PopType.FILTER: self._execute_filter,
+            PopType.SORT: self._execute_sort,
+            PopType.GRPBY: self._execute_group_by,
+            PopType.TBSCAN: self._execute_table_scan,
+            PopType.IXSCAN: self._execute_index_scan,
+            PopType.FETCH: self._execute_index_scan,
+            PopType.HSJOIN: self._execute_hash_join,
+            PopType.MSJOIN: self._execute_merge_join,
+            PopType.NLJOIN: self._execute_nested_loop_join,
+        }
+
+    # ------------------------------------------------------------------
+
+    def execute(self, qgm: Qgm, memo: Optional[ExecutionMemo] = None) -> ExecutionResult:
+        """Execute ``qgm``; annotates every node's ``actual_cardinality``."""
+        metrics = RuntimeMetrics()
+        pool = BufferPool(self.config.buffer_pool_pages)
+        batch = self._execute_node(qgm.root, metrics, pool, memo)
+        rows = batch.to_rows()
+        metrics.rows_returned = len(rows)
+        metrics.logical_reads = pool.logical_reads
+        metrics.physical_reads = pool.physical_reads
+        elapsed = metrics.elapsed_ms(self.config)
+        cardinalities = {
+            node.operator_id: int(node.actual_cardinality or 0) for node in qgm.nodes()
+        }
+        return ExecutionResult(
+            rows=rows,
+            metrics=metrics,
+            elapsed_ms=elapsed,
+            actual_cardinalities=cardinalities,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _execute_node(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        handler = self._handlers.get(node.pop_type)
+        if handler is None:
+            raise PlanError(f"no executor for operator {node.pop_type}")
+        batch = handler(node, metrics, pool, memo)
+        node.actual_cardinality = batch.length
+        return batch
+
+    # -- memo plumbing -------------------------------------------------------
+
+    def _memo_key(self, node: PlanNode):
+        """Structural identity of a memoizable subtree (None = not memoizable)."""
+        pop = node.pop_type
+        if pop is PopType.TBSCAN:
+            return ("TB", node.table, node.table_alias, node.predicates)
+        if pop in (PopType.IXSCAN, PopType.FETCH):
+            if node.index_name:
+                return ("IX", node.table, node.table_alias, node.index_name, node.predicates)
+            return ("TB", node.table, node.table_alias, node.predicates)
+        if pop is PopType.FILTER and len(node.inputs) == 1:
+            child = self._memo_key(node.inputs[0])
+            if child is not None:
+                return ("F", child, node.predicates)
+        if pop is PopType.SORT and len(node.inputs) == 1:
+            child = self._memo_key(node.inputs[0])
+            if child is not None:
+                return ("S", child, node.properties.get("sorted_on"))
+        return None
+
+    @staticmethod
+    def _annotate_subtree(node: PlanNode, entry: MemoEntry) -> None:
+        """On a memo hit, restore the cardinalities of the skipped children."""
+        children = [child for inp in node.inputs for child in inp.walk()]
+        for child, cardinality in zip(children, entry.child_cardinalities):
+            child.actual_cardinality = cardinality
+
+    @staticmethod
+    def _subtree_cardinalities(node: PlanNode) -> Tuple[int, ...]:
+        return tuple(
+            child.actual_cardinality
+            for inp in node.inputs
+            for child in inp.walk()
+        )
+
+    # -- leaf operators -----------------------------------------------------
+
+    def _table_for(self, node: PlanNode) -> TableData:
+        if not node.table:
+            raise PlanError(f"scan node #{node.operator_id} has no table")
+        return self.catalog.table_data(node.table)
+
+    def _rows_per_page(self, data: TableData) -> int:
+        return max(1, data.row_count // max(1, data.page_count))
+
+    @staticmethod
+    def _qualified_columns(data: TableData, alias: str) -> Dict[str, Sequence[Any]]:
+        prefix = alias + "."
+        return {prefix + name: values for name, values in data.column_arrays().items()}
+
+    def _execute_table_scan(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        data = self._table_for(node)
+        alias = node.table_alias or node.table or ""
+        table = node.table or ""
+        # _memo_key maps an index-less IXSCAN to the same "TB" key this
+        # handler serves via the fallback path, so the shapes always agree.
+        key = self._memo_key(node) if memo is not None else None
+        if key is not None:
+            entry = memo.lookup(key)
+            if entry is not None:
+                entry.replay(metrics, pool)
+                return Batch(entry.columns, entry.positions)
+        page_count = data.page_count
+        row_count = data.row_count
+        metrics.sequential_pages += page_count
+        pool.access_sequential(table, 0, page_count)
+        metrics.rows_processed += row_count
+        columns = self._qualified_columns(data, alias)
+        positions = filter_positions(node.predicates, columns, range(row_count))
+        if key is not None:
+            memo.store(
+                key,
+                MemoEntry(
+                    columns=columns,
+                    positions=positions,
+                    deltas=(
+                        ("sequential_pages", page_count),
+                        ("rows_processed", row_count),
+                    ),
+                    traces=(("seq", table, 0, page_count),),
+                ),
+            )
+        return Batch(columns, positions)
+
+    def _execute_index_scan(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        data = self._table_for(node)
+        alias = node.table_alias or node.table or ""
+        index_data = data.index(node.index_name) if node.index_name else None
+        if index_data is None:
+            return self._execute_table_scan(node, metrics, pool, memo)
+        table = node.table or ""
+        key = self._memo_key(node) if memo is not None else None
+        if key is not None:
+            entry = memo.lookup(key)
+            if entry is not None:
+                entry.replay(metrics, pool)
+                return Batch(entry.columns, entry.positions)
+
+        row_ids = index_qualifying_row_ids(node, index_data, alias)
+        count = len(row_ids)
+        metrics.rows_processed += count
+        metrics.index_lookups += count
+        rows_per_page = self._rows_per_page(data)
+        pages = [row_id // rows_per_page for row_id in row_ids]
+        metrics.random_pages += pool.access_many(table, pages)
+        columns = self._qualified_columns(data, alias)
+        positions = filter_positions(node.predicates, columns, row_ids)
+        if key is not None:
+            memo.store(
+                key,
+                MemoEntry(
+                    columns=columns,
+                    positions=positions,
+                    deltas=(("rows_processed", count), ("index_lookups", count)),
+                    traces=(("rand", table, pages),),
+                ),
+            )
+        return Batch(columns, positions)
+
+    def _column_of(
+        self,
+        batch: Batch,
+        node: PlanNode,
+        column_key: str,
+        memo: Optional[ExecutionMemo],
+    ) -> Sequence[Any]:
+        """``batch.column`` with the gathered list cached per memoized subtree.
+
+        Valid because a memoized subtree always yields the same positions, so
+        the gathered column is identical across every plan that shares it.
+        """
+        if memo is not None:
+            child_key = self._memo_key(node)
+            if child_key is not None:
+                aux_key = ("col", child_key, column_key)
+                cached = memo.aux_lookup(aux_key)
+                if cached is None:
+                    cached = batch.column(column_key)
+                    memo.aux_store(aux_key, cached)
+                return cached
+        return batch.column(column_key)
+
+    # -- joins ----------------------------------------------------------------
+
+    def _execute_hash_join(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        assert node.outer is not None and node.inner is not None
+        outer_batch = self._execute_node(node.outer, metrics, pool, memo)
+        inner_batch = self._execute_node(node.inner, metrics, pool, memo)
+        keys = equi_join_keys(node, set(node.outer.aliases()), set(node.inner.aliases()))
+
+        metrics.hash_build_rows += inner_batch.length
+        inner_pages = inner_batch.length // max(1, self.config.page_size_rows)
+        metrics.sort_heap_high_water_mark = max(
+            metrics.sort_heap_high_water_mark, inner_pages
+        )
+        if inner_pages > self.config.sort_heap_pages:
+            metrics.spill_pages += (inner_pages - self.config.sort_heap_pages) * 2
+
+        if not keys:
+            # Cross product.
+            metrics.cpu_operations += outer_batch.length * inner_batch.length
+            inner_range = range(inner_batch.length)
+            outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
+            inner_picks = list(inner_range) * outer_batch.length
+            return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+
+        hash_table = self._hash_build(inner_batch, node.inner, keys, memo)
+        bloom_on = bool(node.properties.get("bloom_filter"))
+        outer_picks: List[int] = []
+        inner_picks: List[int] = []
+        get = hash_table.get
+        if len(keys) == 1:
+            outer_values = self._column_of(outer_batch, node.outer, keys[0][0].key, memo)
+            for op in range(outer_batch.length):
+                value = outer_values[op]
+                if value is None:
+                    continue
+                matches = get(value)
+                if matches is None:
+                    if bloom_on:
+                        metrics.bloom_filtered_rows += 1
+                    else:
+                        metrics.hash_probe_rows += 1
+                    continue
+                metrics.hash_probe_rows += 1
+                for ip in matches:
+                    outer_picks.append(op)
+                    inner_picks.append(ip)
+        else:
+            outer_cols = [
+                self._column_of(outer_batch, node.outer, ok.key, memo) for ok, _ in keys
+            ]
+            for op, value in enumerate(zip(*outer_cols)):
+                if any(part is None for part in value):
+                    continue
+                matches = get(value)
+                if matches is None:
+                    if bloom_on:
+                        metrics.bloom_filtered_rows += 1
+                    else:
+                        metrics.hash_probe_rows += 1
+                    continue
+                metrics.hash_probe_rows += 1
+                for ip in matches:
+                    outer_picks.append(op)
+                    inner_picks.append(ip)
+        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+
+    def _hash_build(
+        self,
+        inner_batch: Batch,
+        inner_node: PlanNode,
+        keys: List[Tuple[ColumnRef, ColumnRef]],
+        memo: Optional[ExecutionMemo],
+    ) -> Dict[Any, List[int]]:
+        """Key -> inner batch positions, skipping NULL keys (build order)."""
+        key_names = tuple(inner_key.key for _, inner_key in keys)
+        aux_key = None
+        if memo is not None:
+            child_key = self._memo_key(inner_node)
+            if child_key is not None:
+                aux_key = ("hsbuild", child_key, key_names)
+                cached = memo.aux_lookup(aux_key)
+                if cached is not None:
+                    return cached
+        hash_table: Dict[Any, List[int]] = {}
+        if len(key_names) == 1:
+            values = inner_batch.column(key_names[0])
+            for ip in range(inner_batch.length):
+                value = values[ip]
+                if value is None:
+                    continue
+                hash_table.setdefault(value, []).append(ip)
+        else:
+            columns = [inner_batch.column(name) for name in key_names]
+            for ip, value in enumerate(zip(*columns)):
+                if any(part is None for part in value):
+                    continue
+                hash_table.setdefault(value, []).append(ip)
+        if aux_key is not None:
+            memo.aux_store(aux_key, hash_table)
+        return hash_table
+
+    def _merge_input(
+        self,
+        batch: Batch,
+        child: PlanNode,
+        column_key: str,
+        memo: Optional[ExecutionMemo],
+    ) -> Tuple[List[int], List[Any], List[Tuple[Any, int, int]]]:
+        """One merge-join input: (stable sort order, sorted key values, equal
+        runs as ``(value, start, end)`` over the sorted values).
+
+        Sort key mirrors the row engine: ``(is-NULL, value-or-0)``, so NULLs
+        sort last.  Cached per memoized subtree + key column.
+        """
+        aux_key = None
+        if memo is not None:
+            child_key = self._memo_key(child)
+            if child_key is not None:
+                aux_key = ("msort", child_key, column_key)
+                cached = memo.aux_lookup(aux_key)
+                if cached is not None:
+                    return cached
+        values = self._column_of(batch, child, column_key, memo)
+        order = sorted(
+            range(len(values)),
+            key=lambda p: (values[p] is None, values[p] if values[p] is not None else 0),
+        )
+        sorted_values = [values[p] for p in order]
+        runs: List[Tuple[Any, int, int]] = []
+        start = 0
+        count = len(sorted_values)
+        while start < count:
+            value = sorted_values[start]
+            stop = start + 1
+            while stop < count and sorted_values[stop] == value:
+                stop += 1
+            runs.append((value, start, stop))
+            start = stop
+        result = (order, sorted_values, runs)
+        if aux_key is not None:
+            memo.aux_store(aux_key, result)
+        return result
+
+    @staticmethod
+    def _merged_accessor(
+        outer_batch: Batch, inner_batch: Batch, column_key: str
+    ) -> Callable[[int, int], Any]:
+        """Value lookup over the merged row (inner side wins key collisions)."""
+        if column_key in inner_batch.columns:
+            values = inner_batch.column(column_key)
+            return lambda op, ip: values[ip]
+        if column_key in outer_batch.columns:
+            values = outer_batch.column(column_key)
+            return lambda op, ip: values[op]
+        return lambda op, ip: None
+
+    def _execute_merge_join(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        assert node.outer is not None and node.inner is not None
+        outer_batch = self._execute_node(node.outer, metrics, pool, memo)
+        inner_batch = self._execute_node(node.inner, metrics, pool, memo)
+        keys = equi_join_keys(node, set(node.outer.aliases()), set(node.inner.aliases()))
+        if not keys:
+            raise PlanError("MSJOIN requires at least one equi-join predicate")
+        outer_key, inner_key = keys[0]
+
+        order_outer, sorted_outer, runs_outer = self._merge_input(
+            outer_batch, node.outer, outer_key.key, memo
+        )
+        order_inner, sorted_inner, runs_inner = self._merge_input(
+            inner_batch, node.inner, inner_key.key, memo
+        )
+
+        residual_pairs = [
+            (
+                self._merged_accessor(outer_batch, inner_batch, ok.key),
+                self._merged_accessor(outer_batch, inner_batch, ik.key),
+            )
+            for ok, ik in keys[1:]
+        ]
+
+        # Block-wise replay of the row engine's merge loop.  The row engine
+        # charges one CPU operation per while-iteration: a single-row advance
+        # per non-matching row (so a skipped run of length L costs L), one
+        # iteration per matched run pair, plus one per candidate row pair.
+        # NULL keys sort last on both sides; once a side reaches its NULL run
+        # the loop drains that side one row per iteration and terminates.
+        outer_picks: List[int] = []
+        inner_picks: List[int] = []
+        cpu = 0
+        n, m = len(sorted_outer), len(sorted_inner)
+        block_outer = block_inner = 0
+        while block_outer < len(runs_outer) and block_inner < len(runs_inner):
+            left_value, i_start, i_end = runs_outer[block_outer]
+            right_value, j_start, j_end = runs_inner[block_inner]
+            if left_value is None:
+                cpu += n - i_start
+                break
+            if right_value is None:
+                cpu += m - j_start
+                break
+            if left_value < right_value:
+                cpu += i_end - i_start
+                block_outer += 1
+            elif left_value > right_value:
+                cpu += j_end - j_start
+                block_inner += 1
+            else:
+                cpu += 1
+                if residual_pairs:
+                    for oi in range(i_start, i_end):
+                        op = order_outer[oi]
+                        for ji in range(j_start, j_end):
+                            cpu += 1
+                            ip = order_inner[ji]
+                            if all(
+                                outer_access(op, ip) == inner_access(op, ip)
+                                for outer_access, inner_access in residual_pairs
+                            ):
+                                outer_picks.append(op)
+                                inner_picks.append(ip)
+                else:
+                    cpu += (i_end - i_start) * (j_end - j_start)
+                    inner_block = order_inner[j_start:j_end]
+                    for oi in range(i_start, i_end):
+                        op = order_outer[oi]
+                        outer_picks.extend([op] * len(inner_block))
+                        inner_picks.extend(inner_block)
+                block_outer += 1
+                block_inner += 1
+        metrics.cpu_operations += cpu
+        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+
+    def _execute_nested_loop_join(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        assert node.outer is not None and node.inner is not None
+        outer_batch = self._execute_node(node.outer, metrics, pool, memo)
+        inner_node = node.inner
+        keys = equi_join_keys(node, set(node.outer.aliases()), set(inner_node.aliases()))
+
+        if (
+            inner_node.is_scan
+            and inner_node.properties.get("nljoin_lookup")
+            and inner_node.index_name
+            and keys
+        ):
+            return self._nljoin_index_lookup(
+                node, outer_batch, inner_node, keys, metrics, pool, memo
+            )
+
+        inner_batch = self._execute_node(inner_node, metrics, pool, memo)
+        # Re-scanning the inner for every outer row: charge the CPU for it.
+        metrics.cpu_operations += outer_batch.length * max(1, inner_batch.length)
+        outer_picks: List[int] = []
+        inner_picks: List[int] = []
+        if keys:
+            inner_map = self._nljoin_key_map(inner_batch, inner_node, keys, memo)
+            get = inner_map.get
+            if len(keys) == 1:
+                outer_values = self._column_of(
+                    outer_batch, node.outer, keys[0][0].key, memo
+                )
+                for op in range(outer_batch.length):
+                    for ip in get(outer_values[op], ()):
+                        outer_picks.append(op)
+                        inner_picks.append(ip)
+            else:
+                outer_cols = [
+                    self._column_of(outer_batch, node.outer, ok.key, memo)
+                    for ok, _ in keys
+                ]
+                for op, value in enumerate(zip(*outer_cols)):
+                    for ip in get(value, ()):
+                        outer_picks.append(op)
+                        inner_picks.append(ip)
+        else:
+            inner_range = range(inner_batch.length)
+            outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
+            inner_picks = list(inner_range) * outer_batch.length
+        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+
+    def _nljoin_key_map(
+        self,
+        inner_batch: Batch,
+        inner_node: PlanNode,
+        keys: List[Tuple[ColumnRef, ColumnRef]],
+        memo: Optional[ExecutionMemo],
+    ) -> Dict[Any, List[int]]:
+        """Key -> inner positions; NULL keys participate (row-engine parity)."""
+        key_names = tuple(inner_key.key for _, inner_key in keys)
+        aux_key = None
+        if memo is not None:
+            child_key = self._memo_key(inner_node)
+            if child_key is not None:
+                aux_key = ("nlmap", child_key, key_names)
+                cached = memo.aux_lookup(aux_key)
+                if cached is not None:
+                    return cached
+        inner_map: Dict[Any, List[int]] = {}
+        if len(key_names) == 1:
+            values = inner_batch.column(key_names[0])
+            for ip in range(inner_batch.length):
+                inner_map.setdefault(values[ip], []).append(ip)
+        else:
+            columns = [inner_batch.column(name) for name in key_names]
+            for ip, value in enumerate(zip(*columns)):
+                inner_map.setdefault(value, []).append(ip)
+        if aux_key is not None:
+            memo.aux_store(aux_key, inner_map)
+        return inner_map
+
+    def _nljoin_index_lookup(
+        self,
+        node: PlanNode,
+        outer_batch: Batch,
+        inner_node: PlanNode,
+        keys: List[Tuple[ColumnRef, ColumnRef]],
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo] = None,
+    ) -> Batch:
+        """Inner side evaluated as one index lookup per outer row."""
+        data = self._table_for(inner_node)
+        alias = inner_node.table_alias or inner_node.table or ""
+        table = inner_node.table or ""
+        index_data = data.index(inner_node.index_name)
+        rows_per_page = self._rows_per_page(data)
+        outer_key, inner_key = keys[0]
+        lookup_on_index = index_data.definition.column == inner_key.column
+        inner_columns = self._qualified_columns(data, alias)
+        outer_values = self._column_of(outer_batch, node.outer, outer_key.key, memo)
+        predicates = inner_node.predicates
+        match_column = (
+            None if lookup_on_index else data.column_values(inner_key.column)
+        )
+
+        residual_pairs = []
+        for residual_outer, residual_inner in keys[1:]:
+            residual_pairs.append(
+                (
+                    self._index_lookup_accessor(outer_batch, inner_columns, residual_outer.key),
+                    self._index_lookup_accessor(outer_batch, inner_columns, residual_inner.key),
+                )
+            )
+
+        inner_matched = 0
+        outer_picks: List[int] = []
+        inner_row_ids: List[int] = []
+        access_many = pool.access_many
+        for op in range(outer_batch.length):
+            value = outer_values[op]
+            if value is None:
+                continue
+            metrics.index_lookups += 1
+            if lookup_on_index:
+                row_ids = index_data.lookup(value)
+            else:
+                row_ids = [
+                    row_id
+                    for row_id in range(data.row_count)
+                    if match_column[row_id] == value
+                ]
+            if not row_ids:
+                continue
+            metrics.rows_processed += len(row_ids)
+            metrics.random_pages += access_many(
+                table, [row_id // rows_per_page for row_id in row_ids]
+            )
+            survivors = filter_positions(predicates, inner_columns, row_ids)
+            for row_id in survivors:
+                if all(
+                    outer_access(op, row_id) == inner_access(op, row_id)
+                    for outer_access, inner_access in residual_pairs
+                ):
+                    inner_matched += 1
+                    outer_picks.append(op)
+                    inner_row_ids.append(row_id)
+        inner_node.actual_cardinality = inner_matched
+
+        columns = _gather_columns(outer_batch, outer_picks)
+        for key_name, values in inner_columns.items():
+            columns[key_name] = [values[row_id] for row_id in inner_row_ids]
+        return Batch(columns, None, len(outer_picks))
+
+    @staticmethod
+    def _index_lookup_accessor(
+        outer_batch: Batch, inner_columns: Dict[str, Sequence[Any]], column_key: str
+    ) -> Callable[[int, int], Any]:
+        """Merged-row lookup where the inner side is addressed by table row id."""
+        if column_key in inner_columns:
+            values = inner_columns[column_key]
+            return lambda op, row_id: values[row_id]
+        if column_key in outer_batch.columns:
+            values = outer_batch.column(column_key)
+            return lambda op, row_id: values[op]
+        return lambda op, row_id: None
+
+    # -- other operators ---------------------------------------------------------
+
+    def _execute_passthrough(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        if not node.inputs:
+            return Batch({}, None, 0)
+        return self._execute_node(node.inputs[0], metrics, pool, memo)
+
+    def _execute_filter(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        key = self._memo_key(node) if memo is not None else None
+        if key is not None:
+            entry = memo.lookup(key)
+            if entry is not None:
+                entry.replay(metrics, pool)
+                self._annotate_subtree(node, entry)
+                return Batch(entry.columns, entry.positions)
+        child_batch = self._execute_node(node.inputs[0], metrics, pool, memo)
+        metrics.cpu_operations += child_batch.length
+        positions = filter_positions(
+            node.predicates, child_batch.columns, child_batch.positions()
+        )
+        if key is not None:
+            child_entry = memo.peek(key[1])
+            if child_entry is not None:
+                memo.store(
+                    key,
+                    MemoEntry(
+                        columns=child_batch.columns,
+                        positions=positions,
+                        deltas=child_entry.deltas
+                        + (("cpu_operations", child_batch.length),),
+                        traces=child_entry.traces,
+                        child_cardinalities=self._subtree_cardinalities(node),
+                    ),
+                )
+        return Batch(child_batch.columns, positions)
+
+    def _execute_sort(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        key = self._memo_key(node) if memo is not None else None
+        if key is not None:
+            entry = memo.lookup(key)
+            if entry is not None:
+                entry.replay(metrics, pool)
+                self._annotate_subtree(node, entry)
+                return Batch(entry.columns, entry.positions)
+        child_batch = self._execute_node(node.inputs[0], metrics, pool, memo)
+        length = child_batch.length
+        metrics.sort_rows += length
+        pages = length // max(1, self.config.page_size_rows)
+        metrics.sort_heap_high_water_mark = max(metrics.sort_heap_high_water_mark, pages)
+        spilled = 0
+        if pages > self.config.sort_heap_pages:
+            spilled = (pages - self.config.sort_heap_pages) * 2
+            metrics.spill_pages += spilled
+        sort_key: Optional[ColumnRef] = node.properties.get("sorted_on")
+        if sort_key is None:
+            result = child_batch
+        else:
+            values = child_batch.column(sort_key.key)
+            order = sorted(
+                range(length), key=lambda p: (values[p] is None, values[p] or 0)
+            )
+            result = child_batch.take(order)
+        if key is not None:
+            child_entry = memo.peek(key[1])
+            if child_entry is not None:
+                deltas = child_entry.deltas + (
+                    ("sort_rows", length),
+                    ("sort_heap_high_water_mark", pages),
+                )
+                if spilled:
+                    deltas += (("spill_pages", spilled),)
+                memo.store(
+                    key,
+                    MemoEntry(
+                        columns=result.columns,
+                        positions=result.positions(),
+                        deltas=deltas,
+                        traces=child_entry.traces,
+                        child_cardinalities=self._subtree_cardinalities(node),
+                    ),
+                )
+        return result
+
+    def _execute_group_by(
+        self,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Batch:
+        child_batch = self._execute_node(node.inputs[0], metrics, pool, memo)
+        length = child_batch.length
+        metrics.cpu_operations += length
+        keys: Tuple[ColumnRef, ...] = tuple(node.properties.get("group_by") or ())
+        aggregates = tuple(node.properties.get("aggregates") or ())
+
+        groups: Dict[Tuple, List[int]] = {}
+        if keys:
+            key_columns = [child_batch.column(key.key) for key in keys]
+            if len(key_columns) == 1:
+                column = key_columns[0]
+                for position in range(length):
+                    groups.setdefault((column[position],), []).append(position)
+            else:
+                for position, group_key in enumerate(zip(*key_columns)):
+                    groups.setdefault(group_key, []).append(position)
+        elif length:
+            groups[()] = list(range(length))
+        if not groups and not keys:
+            groups[()] = []
+
+        aggregate_columns = [
+            (
+                aggregate,
+                column,
+                child_batch.column(column.key) if column is not None else None,
+            )
+            for aggregate, column in aggregates
+        ]
+        out_rows: List[Dict[str, Any]] = []
+        for group_key, members in groups.items():
+            out_row: Dict[str, Any] = {}
+            for key, value in zip(keys, group_key):
+                out_row[key.key] = value
+            for aggregate, column, values in aggregate_columns:
+                target = column.key if column is not None else "*"
+                out_row[f"{aggregate}({target})"] = self._aggregate_values(
+                    aggregate, column, values, members
+                )
+            out_rows.append(out_row)
+        return Batch.from_rows(out_rows)
+
+    @staticmethod
+    def _aggregate_values(
+        aggregate: str,
+        column: Optional[ColumnRef],
+        values: Optional[Sequence[Any]],
+        members: List[int],
+    ) -> Any:
+        if aggregate == "COUNT":
+            if column is None:
+                return len(members)
+            return sum(1 for position in members if values[position] is not None)
+        if column is None:
+            return None
+        present = [values[position] for position in members if values[position] is not None]
+        if not present:
+            return None
+        if aggregate == "SUM":
+            return sum(present)
+        if aggregate == "AVG":
+            return sum(present) / len(present)
+        if aggregate == "MIN":
+            return min(present)
+        if aggregate == "MAX":
+            return max(present)
+        raise PlanError(f"unsupported aggregate {aggregate!r}")

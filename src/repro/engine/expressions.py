@@ -4,12 +4,22 @@ Expressions are shared between the SQL AST, the optimizer (which estimates
 their selectivity) and the executor (which evaluates them against rows).
 Rows are dictionaries keyed by ``"<alias>.<column>"`` so the same expression
 evaluates correctly before and after joins.
+
+Two evaluation forms exist:
+
+* :meth:`Predicate.evaluate` -- row-at-a-time, used by the legacy executor;
+* :func:`compile_predicate` -- compiles a predicate once into a column-wise
+  closure that filters a *position vector* against column arrays, used by the
+  vectorized executor.  Compiled predicates produce exactly the rows
+  ``evaluate`` accepts (including the ``NULL``-rejects-everything and the
+  mixed-type string-comparison fallback semantics of :class:`Comparison`, and
+  the left-to-right short-circuiting of :class:`And` / :class:`Or`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 Row = Dict[str, Any]
 
@@ -235,3 +245,294 @@ def conjunction(predicates: Sequence[Predicate]) -> Optional[Predicate]:
     if len(predicates) == 1:
         return predicates[0]
     return And(tuple(predicates))
+
+
+# ---------------------------------------------------------------------------
+# Compiled (column-wise) predicate evaluation
+# ---------------------------------------------------------------------------
+
+#: Column arrays: ``"<alias>.<column>"`` -> full value list.  Position vectors
+#: index into these arrays, so a scan can filter directly over the table's
+#: backing columns without materializing a dict per row.
+Columns = Mapping[str, Sequence[Any]]
+FilterFn = Callable[[Columns, Sequence[int]], List[int]]
+
+
+class CompiledPredicate:
+    """A predicate compiled into a position-vector filter.
+
+    ``filter(columns, positions)`` returns the sub-list of ``positions`` whose
+    rows satisfy the predicate, preserving order.  A column key absent from
+    ``columns`` behaves like an all-``NULL`` column, matching ``row.get``.
+    """
+
+    __slots__ = ("predicate", "_filter")
+
+    def __init__(self, predicate: Predicate, filter_fn: FilterFn):
+        self.predicate = predicate
+        self._filter = filter_fn
+
+    def filter(self, columns: Columns, positions: Sequence[int]) -> List[int]:
+        return self._filter(columns, positions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledPredicate {self.predicate}>"
+
+
+def _operand_key_or_const(operand: Any) -> Tuple[Optional[str], Any]:
+    """Split an operand into (column key, None) or (None, constant value)."""
+    if isinstance(operand, ColumnRef):
+        return operand.key, None
+    if isinstance(operand, Literal):
+        return None, operand.value
+    return None, operand
+
+
+def _compile_comparison(predicate: Comparison) -> FilterFn:
+    op = _COMPARATORS[predicate.op]
+    left_key, left_const = _operand_key_or_const(predicate.left)
+    right_key, right_const = _operand_key_or_const(predicate.right)
+
+    if left_key is not None and right_key is not None:
+
+        def filter_col_col(columns: Columns, positions: Sequence[int]) -> List[int]:
+            left = columns.get(left_key)
+            right = columns.get(right_key)
+            if left is None or right is None:
+                return []
+            try:
+                return [
+                    i
+                    for i in positions
+                    if left[i] is not None
+                    and right[i] is not None
+                    and op(left[i], right[i])
+                ]
+            except TypeError:
+                out = []
+                for i in positions:
+                    lv, rv = left[i], right[i]
+                    if lv is None or rv is None:
+                        continue
+                    try:
+                        keep = op(lv, rv)
+                    except TypeError:
+                        keep = op(str(lv), str(rv))
+                    if keep:
+                        out.append(i)
+                return out
+
+        return filter_col_col
+
+    if left_key is not None:
+        const = right_const
+        if const is None:
+            return lambda columns, positions: []
+
+        def filter_col_const(columns: Columns, positions: Sequence[int]) -> List[int]:
+            values = columns.get(left_key)
+            if values is None:
+                return []
+            try:
+                return [i for i in positions if values[i] is not None and op(values[i], const)]
+            except TypeError:
+                out = []
+                for i in positions:
+                    value = values[i]
+                    if value is None:
+                        continue
+                    try:
+                        keep = op(value, const)
+                    except TypeError:
+                        keep = op(str(value), str(const))
+                    if keep:
+                        out.append(i)
+                return out
+
+        return filter_col_const
+
+    if right_key is not None:
+        const = left_const
+        if const is None:
+            return lambda columns, positions: []
+
+        def filter_const_col(columns: Columns, positions: Sequence[int]) -> List[int]:
+            values = columns.get(right_key)
+            if values is None:
+                return []
+            try:
+                return [i for i in positions if values[i] is not None and op(const, values[i])]
+            except TypeError:
+                out = []
+                for i in positions:
+                    value = values[i]
+                    if value is None:
+                        continue
+                    try:
+                        keep = op(const, value)
+                    except TypeError:
+                        keep = op(str(const), str(value))
+                    if keep:
+                        out.append(i)
+                return out
+
+        return filter_const_col
+
+    # Constant comparison: evaluate once.
+    if left_const is None or right_const is None:
+        return lambda columns, positions: []
+    try:
+        constant_true = op(left_const, right_const)
+    except TypeError:
+        constant_true = op(str(left_const), str(right_const))
+    if constant_true:
+        return lambda columns, positions: list(positions)
+    return lambda columns, positions: []
+
+
+def _compile_between(predicate: Between) -> FilterFn:
+    key = predicate.column.key
+    low = predicate.low.value
+    high = predicate.high.value
+
+    def filter_between(columns: Columns, positions: Sequence[int]) -> List[int]:
+        values = columns.get(key)
+        if values is None:
+            return []
+        return [i for i in positions if values[i] is not None and low <= values[i] <= high]
+
+    return filter_between
+
+
+def _compile_in_list(predicate: InList) -> FilterFn:
+    key = predicate.column.key
+    try:
+        members: Any = frozenset(predicate.values)
+    except TypeError:  # pragma: no cover - unhashable literals never parse
+        members = predicate.values
+
+    def filter_in(columns: Columns, positions: Sequence[int]) -> List[int]:
+        values = columns.get(key)
+        if values is None:
+            return []
+        return [i for i in positions if values[i] is not None and values[i] in members]
+
+    return filter_in
+
+
+def _compile_is_null(predicate: IsNull) -> FilterFn:
+    key = predicate.column.key
+    if predicate.negated:
+
+        def filter_not_null(columns: Columns, positions: Sequence[int]) -> List[int]:
+            values = columns.get(key)
+            if values is None:
+                return []
+            return [i for i in positions if values[i] is not None]
+
+        return filter_not_null
+
+    def filter_null(columns: Columns, positions: Sequence[int]) -> List[int]:
+        values = columns.get(key)
+        if values is None:
+            return list(positions)
+        return [i for i in positions if values[i] is None]
+
+    return filter_null
+
+
+def _compile_and(predicate: And) -> FilterFn:
+    children = [_compile(child) for child in predicate.children]
+
+    def filter_and(columns: Columns, positions: Sequence[int]) -> List[int]:
+        current: Sequence[int] = positions
+        for child in children:
+            if not current:
+                break
+            current = child(columns, current)
+        return list(current)
+
+    return filter_and
+
+
+def _compile_or(predicate: Or) -> FilterFn:
+    children = [_compile(child) for child in predicate.children]
+
+    def filter_or(columns: Columns, positions: Sequence[int]) -> List[int]:
+        # Mirror ``any``'s short-circuit: child k only ever sees the rows every
+        # child before it rejected, so side effects (raises) match row order.
+        matched: set = set()
+        remaining: Sequence[int] = positions
+        for child in children:
+            if not remaining:
+                break
+            hits = child(columns, remaining)
+            if hits:
+                matched.update(hits)
+                hit_set = set(hits)
+                remaining = [i for i in remaining if i not in hit_set]
+        return [i for i in positions if i in matched]
+
+    return filter_or
+
+
+def _compile_fallback(predicate: Predicate) -> FilterFn:
+    """Row-at-a-time fallback for predicate classes without a compiled form."""
+
+    def filter_rows(columns: Columns, positions: Sequence[int]) -> List[int]:
+        keys = list(columns)
+        out = []
+        for i in positions:
+            row = {key: columns[key][i] for key in keys}
+            if predicate.evaluate(row):
+                out.append(i)
+        return out
+
+    return filter_rows
+
+
+def _compile(predicate: Predicate) -> FilterFn:
+    if isinstance(predicate, Comparison):
+        return _compile_comparison(predicate)
+    if isinstance(predicate, Between):
+        return _compile_between(predicate)
+    if isinstance(predicate, InList):
+        return _compile_in_list(predicate)
+    if isinstance(predicate, IsNull):
+        return _compile_is_null(predicate)
+    if isinstance(predicate, And):
+        return _compile_and(predicate)
+    if isinstance(predicate, Or):
+        return _compile_or(predicate)
+    return _compile_fallback(predicate)
+
+
+#: Predicates are immutable, so their compiled form is cached process-wide.
+_COMPILED_CACHE: Dict[Predicate, CompiledPredicate] = {}
+_COMPILED_CACHE_LIMIT = 4096
+
+
+def compile_predicate(predicate: Predicate) -> CompiledPredicate:
+    """Compile ``predicate`` into a column-wise filter (cached per predicate)."""
+    try:
+        cached = _COMPILED_CACHE.get(predicate)
+    except TypeError:  # unhashable predicate: compile without caching
+        return CompiledPredicate(predicate, _compile(predicate))
+    if cached is None:
+        cached = CompiledPredicate(predicate, _compile(predicate))
+        if len(_COMPILED_CACHE) >= _COMPILED_CACHE_LIMIT:
+            _COMPILED_CACHE.clear()
+        _COMPILED_CACHE[predicate] = cached
+    return cached
+
+
+def filter_positions(
+    predicates: Sequence[Predicate], columns: Columns, positions: Sequence[int]
+) -> Sequence[int]:
+    """Apply ``predicates`` in order to a position vector (AND semantics)."""
+    current = positions
+    for predicate in predicates:
+        if not len(current):
+            break
+        current = compile_predicate(predicate).filter(columns, current)
+    return current

@@ -9,6 +9,7 @@ the index order, which the runtime simulator uses to model random-I/O flooding.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -20,22 +21,43 @@ from repro.errors import CatalogError
 
 @dataclass
 class IndexData:
-    """Materialized hash index: key value -> sorted list of row ids."""
+    """Materialized hash index: key value -> sorted list of row ids.
+
+    Range probes use a lazily built sorted key list (``bisect``) instead of
+    scanning every key; the list is invalidated whenever rows are inserted
+    (``TableData`` rebuilds the index entries).
+    """
 
     definition: Index
     entries: Dict[Any, List[int]] = field(default_factory=dict)
+    _sorted_keys: Optional[List[Any]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def lookup(self, value: Any) -> List[int]:
         return self.entries.get(value, [])
 
+    def invalidate_sorted_keys(self) -> None:
+        """Drop the cached key order (called after entries are rebuilt)."""
+        self._sorted_keys = None
+
+    def sorted_keys(self) -> List[Any]:
+        """Non-``NULL`` key values in ascending order (cached)."""
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(
+                key for key in self.entries if key is not None
+            )
+        return self._sorted_keys
+
     def lookup_range(self, low: Any, high: Any) -> List[int]:
         """Return row ids whose key falls in ``[low, high]`` (inclusive)."""
+        keys = self.sorted_keys()
+        start = 0 if low is None else bisect_left(keys, low)
+        stop = len(keys) if high is None else bisect_right(keys, high)
         row_ids: List[int] = []
-        for key, ids in self.entries.items():
-            if key is None:
-                continue
-            if (low is None or key >= low) and (high is None or key <= high):
-                row_ids.extend(ids)
+        entries = self.entries
+        for key in keys[start:stop]:
+            row_ids.extend(entries[key])
         row_ids.sort()
         return row_ids
 
@@ -82,6 +104,7 @@ class TableData:
 
     def _fill_index(self, index_data: IndexData) -> None:
         index_data.entries = {}
+        index_data.invalidate_sorted_keys()
         values = self._columns[index_data.definition.column]
         for row_id, value in enumerate(values):
             index_data.entries.setdefault(value, []).append(row_id)
@@ -117,6 +140,15 @@ class TableData:
                 f"table {self.schema.name!r} has no column {column_name!r}"
             )
         return self._columns[column_name]
+
+    def column_arrays(self) -> Dict[str, List[Any]]:
+        """Column name -> backing value list, in schema order.
+
+        The returned mapping references the live storage arrays (no copy); the
+        vectorized executor reads them directly.  Callers must treat both the
+        mapping and the lists as read-only.
+        """
+        return self._columns
 
     def row(self, row_id: int) -> Dict[str, Any]:
         return {

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -10,6 +11,18 @@ from repro.core.knowledge_base import KnowledgeBase
 from repro.core.learning.engine import LearningConfig, LearningReport
 from repro.core.matching.engine import MatchingConfig
 from repro.workloads.workload import Workload, load_workload
+
+
+def bench_tiny_mode() -> bool:
+    """True when ``GALO_BENCH_TINY`` is enabled: CI smoke mode for the
+    benchmark harness (tiny workloads; speedup assertions relaxed).
+    ``0`` / ``false`` / empty mean disabled."""
+    return os.environ.get("GALO_BENCH_TINY", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
 
 
 @dataclass

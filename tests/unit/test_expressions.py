@@ -136,3 +136,94 @@ class TestConjunctionHelpers:
         combined = conjunction([Comparison("=", A_X, Literal(1)), Comparison("=", B_Y, Literal(2))])
         assert isinstance(combined, And)
         assert len(combined.children) == 2
+
+
+class TestCompiledPredicates:
+    """Compiled column-wise evaluation must agree with row-at-a-time evaluate."""
+
+    COLUMNS = {
+        "A.x": [5, None, 6, 0, 5],
+        "B.y": [7, 7, None, 7, 2],
+        "A.s": ["hello", "there", None, "hello", "x"],
+    }
+
+    def _rows(self):
+        keys = list(self.COLUMNS)
+        return [
+            {key: self.COLUMNS[key][i] for key in keys}
+            for i in range(len(self.COLUMNS["A.x"]))
+        ]
+
+    def assert_agrees(self, predicate):
+        from repro.engine.expressions import compile_predicate
+
+        expected = [i for i, row in enumerate(self._rows()) if predicate.evaluate(row)]
+        compiled = compile_predicate(predicate)
+        got = compiled.filter(self.COLUMNS, range(len(self._rows())))
+        assert list(got) == expected, str(predicate)
+
+    def test_comparison_col_literal(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            self.assert_agrees(Comparison(op, A_X, Literal(5)))
+
+    def test_comparison_literal_col(self):
+        self.assert_agrees(Comparison("<", Literal(3), A_X))
+
+    def test_comparison_col_col(self):
+        self.assert_agrees(Comparison("<", A_X, B_Y))
+
+    def test_comparison_mixed_types_string_fallback(self):
+        # Row engine falls back to string comparison on TypeError.
+        self.assert_agrees(Comparison("<", ColumnRef("A", "s"), Literal(9)))
+
+    def test_comparison_null_literal_matches_nothing(self):
+        self.assert_agrees(Comparison("=", A_X, Literal(None)))
+
+    def test_between(self):
+        self.assert_agrees(Between(A_X, Literal(1), Literal(5)))
+
+    def test_in_list(self):
+        self.assert_agrees(InList(A_X, (0, 6)))
+
+    def test_is_null_and_not_null(self):
+        self.assert_agrees(IsNull(A_X))
+        self.assert_agrees(IsNull(A_X, negated=True))
+
+    def test_and_or_nesting(self):
+        self.assert_agrees(
+            And((Comparison(">", A_X, Literal(0)), Comparison("=", B_Y, Literal(7))))
+        )
+        self.assert_agrees(
+            Or((Comparison(">", A_X, Literal(5)), Comparison("=", B_Y, Literal(2))))
+        )
+        self.assert_agrees(
+            Or((IsNull(A_X), And((Comparison("=", A_X, Literal(5)), IsNull(B_Y)))))
+        )
+
+    def test_missing_column_behaves_as_nulls(self):
+        from repro.engine.expressions import compile_predicate
+
+        compiled = compile_predicate(Comparison("=", ColumnRef("Z", "q"), Literal(1)))
+        assert compiled.filter(self.COLUMNS, range(5)) == []
+        compiled_null = compile_predicate(IsNull(ColumnRef("Z", "q")))
+        assert list(compiled_null.filter(self.COLUMNS, range(5))) == list(range(5))
+
+    def test_compile_cache_returns_same_object(self):
+        from repro.engine.expressions import compile_predicate
+
+        predicate = Comparison("=", A_X, Literal(123456))
+        assert compile_predicate(predicate) is compile_predicate(predicate)
+
+    def test_filter_positions_applies_in_order(self):
+        from repro.engine.expressions import filter_positions
+
+        predicates = (
+            Comparison(">=", A_X, Literal(0)),
+            Comparison("=", B_Y, Literal(7)),
+        )
+        expected = [
+            i
+            for i, row in enumerate(self._rows())
+            if all(p.evaluate(row) for p in predicates)
+        ]
+        assert list(filter_positions(predicates, self.COLUMNS, range(5))) == expected

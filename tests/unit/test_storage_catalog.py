@@ -67,6 +67,49 @@ class TestTableData:
         assert data.index("I_PK").lookup_range(None, 2) == [0, 1, 2]
         assert data.index("I_PK").lookup_range(18, None) == [18, 19]
 
+    def test_range_lookup_uses_cached_sorted_keys(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(10))
+        data.build_index(item_schema().indexes[0])
+        index = data.index("I_PK")
+        assert index._sorted_keys is None
+        index.lookup_range(2, 4)
+        assert index._sorted_keys == sorted(k for k in index.entries if k is not None)
+        # Cached list is reused across probes.
+        cached = index._sorted_keys
+        index.lookup_range(5, 7)
+        assert index._sorted_keys is cached
+
+    def test_sorted_keys_invalidated_on_insert(self):
+        data = TableData(item_schema())
+        data.insert_rows(sample_rows(5))
+        data.build_index(item_schema().indexes[0])
+        index = data.index("I_PK")
+        assert index.lookup_range(0, 99) == list(range(5))
+        data.insert_rows([{"i_item_sk": 97, "i_category": "Music"}])
+        assert index._sorted_keys is None
+        assert index.lookup_range(90, 99) == [5]
+
+    def test_range_lookup_matches_brute_force_with_duplicates_and_nulls(self):
+        data = TableData(item_schema())
+        rows = [
+            {"i_item_sk": value, "i_category": "n"}
+            for value in [5, 3, None, 5, 1, 9, None, 3]
+        ]
+        data.insert_rows(rows)
+        data.build_index(item_schema().indexes[0])
+        index = data.index("I_PK")
+        for low, high in [(3, 5), (None, 4), (4, None), (None, None), (6, 2)]:
+            brute = sorted(
+                row_id
+                for key, ids in index.entries.items()
+                if key is not None
+                and (low is None or key >= low)
+                and (high is None or key <= high)
+                for row_id in ids
+            )
+            assert index.lookup_range(low, high) == brute, (low, high)
+
     def test_index_on_column_helper(self):
         data = TableData(item_schema())
         data.build_index(item_schema().indexes[0])

@@ -1,0 +1,246 @@
+"""Differential tests: vectorized batch executor vs the row-at-a-time oracle.
+
+The vectorized engine's contract is *bit-identical* execution: result rows
+(values and dict key order), simulated ``elapsed_ms``, per-operator actual
+cardinalities, and every runtime metric counter must match the legacy row
+engine for any plan -- with and without the shared-subplan memo.  These tests
+drive both engines over optimizer-chosen and randomized plans (mini star
+schema here; scaled TPC-DS + client workloads in the slow tier) and assert
+full equality.
+"""
+
+import pytest
+
+from repro.engine.config import DbConfig
+from repro.engine.executor import (
+    Batch,
+    ExecutionMemo,
+    Executor,
+    VectorizedExecutor,
+    make_executor,
+)
+from repro.engine.executor.vectorized import _merge_batches
+
+MINI_SQLS = [
+    "SELECT i_item_sk FROM item WHERE i_category = 'Jewelry'",
+    "SELECT s_price FROM sales WHERE s_item_sk = 3",
+    "SELECT d_year FROM date_dim WHERE d_date_sk BETWEEN 100 AND 199",
+    "SELECT i_category, COUNT(*) FROM sales, item "
+    "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category",
+    "SELECT i_category, SUM(s_price) FROM sales, item, date_dim "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND d_year >= 2018 "
+    "GROUP BY i_category",
+    "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND s_outlet_sk = o_outlet_sk "
+    "AND i_category = 'Music' AND o_state = 'CA' GROUP BY i_category, o_state",
+    "SELECT i_class, COUNT(*) FROM sales, item, date_dim "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk "
+    "AND d_date BETWEEN 12500 AND 12600 GROUP BY i_class",
+    "SELECT i_category, COUNT(*) FROM item GROUP BY i_category ORDER BY i_category",
+    "SELECT COUNT(*) FROM outlet",
+    "SELECT o_state, AVG(s_price) FROM sales, outlet "
+    "WHERE s_outlet_sk = o_outlet_sk GROUP BY o_state",
+]
+
+
+def assert_identical(reference, candidate, context=""):
+    """Full ExecutionResult equality: rows, elapsed, cardinalities, metrics."""
+    assert candidate.rows == reference.rows, f"rows differ: {context}"
+    assert candidate.elapsed_ms == reference.elapsed_ms, f"elapsed differs: {context}"
+    assert (
+        candidate.actual_cardinalities == reference.actual_cardinalities
+    ), f"cardinalities differ: {context}"
+    assert (
+        candidate.metrics.as_dict() == reference.metrics.as_dict()
+    ), f"metrics differ: {context}"
+
+
+def run_differential(db, sqls, random_plans_per_query, memo=None):
+    """Execute optimizer + random plans through both engines; assert equality."""
+    row_engine = Executor(db.catalog, db.config)
+    vec_engine = VectorizedExecutor(db.catalog, db.config)
+    plans_checked = 0
+    for sql in sqls:
+        plans = [db.explain(sql)]
+        plans += db.random_plans(sql, random_plans_per_query)
+        for qgm in plans:
+            reference = row_engine.execute(qgm.copy())
+            candidate = vec_engine.execute(qgm.copy(), memo=memo)
+            assert_identical(reference, candidate, context=sql)
+            plans_checked += 1
+    return plans_checked
+
+
+class TestMiniDifferential:
+    def test_optimizer_and_random_plans_identical(self, mini_db):
+        checked = run_differential(mini_db, MINI_SQLS, random_plans_per_query=6)
+        assert checked >= len(MINI_SQLS)
+
+    def test_memoized_execution_identical_and_hits(self, mini_db):
+        memo = ExecutionMemo()
+        run_differential(mini_db, MINI_SQLS, random_plans_per_query=6, memo=memo)
+        # The candidate plan set re-scans the same tables: the memo must
+        # actually share subtrees, not just stay out of the way.
+        assert memo.hits > 0
+        assert memo.stats["entries"] > 0
+
+    def test_annotates_plan_nodes(self, mini_db):
+        qgm = mini_db.explain(MINI_SQLS[3])
+        result = VectorizedExecutor(mini_db.catalog, mini_db.config).execute(qgm)
+        for node in qgm.nodes():
+            assert node.actual_cardinality is not None
+        assert result.actual_cardinalities[1] == result.row_count
+
+    def test_memo_hit_annotates_skipped_subtrees(self, mini_db):
+        memo = ExecutionMemo()
+        engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        first = mini_db.explain(MINI_SQLS[4])
+        engine.execute(first, memo=memo)
+        second = mini_db.explain(MINI_SQLS[4])
+        result = engine.execute(second, memo=memo)
+        assert memo.hits > 0
+        for node in second.nodes():
+            assert node.actual_cardinality is not None
+        reference = Executor(mini_db.catalog, mini_db.config).execute(
+            mini_db.explain(MINI_SQLS[4])
+        )
+        assert_identical(reference, result)
+
+
+class TestEngineSelection:
+    def test_default_is_vectorized(self, mini_db):
+        assert isinstance(mini_db.executor, VectorizedExecutor)
+        assert DbConfig().executor == "vectorized"
+
+    def test_make_executor_row(self, mini_db):
+        config = mini_db.config.with_overrides(executor="row")
+        assert isinstance(make_executor(mini_db.catalog, config), Executor)
+
+    def test_make_executor_unknown_raises(self, mini_db):
+        config = mini_db.config.with_overrides(executor="quantum")
+        with pytest.raises(ValueError):
+            make_executor(mini_db.catalog, config)
+
+    def test_set_executor_does_not_leak_into_shared_config(self):
+        from repro.engine.database import Database
+
+        config = DbConfig()
+        first = Database(config=config)
+        first.set_executor("row")
+        assert config.executor == "vectorized"
+        second = Database(config=config)
+        assert isinstance(second.executor, VectorizedExecutor)
+        assert isinstance(first.executor, Executor)
+        # No split brain inside a database: the catalog (and therefore the
+        # default Db2Batch construction path) sees the same engine choice.
+        assert first.catalog.config is first.config
+        assert first.catalog.config.executor == "row"
+
+    def test_set_executor_switches_engine(self, mini_db):
+        try:
+            mini_db.set_executor("row")
+            assert isinstance(mini_db.executor, Executor)
+            row_result = mini_db.execute_sql(MINI_SQLS[3])
+        finally:
+            mini_db.set_executor("vectorized")
+        assert isinstance(mini_db.executor, VectorizedExecutor)
+        vec_result = mini_db.execute_sql(MINI_SQLS[3])
+        assert_identical(row_result, vec_result)
+
+
+class TestBatch:
+    def test_from_rows_and_to_rows_round_trip(self):
+        rows = [{"A.x": 1, "A.y": "a"}, {"A.x": 2, "A.y": "b"}]
+        batch = Batch.from_rows(rows)
+        assert batch.length == 2
+        assert batch.to_rows() == rows
+
+    def test_key_order_preserved(self):
+        rows = [{"z": 1, "a": 2}]
+        assert list(Batch.from_rows(rows).to_rows()[0]) == ["z", "a"]
+
+    def test_selection_vector_column_and_take(self):
+        backing = {"T.c": [10, 20, 30, 40]}
+        batch = Batch(backing, sel=[3, 1])
+        assert batch.column("T.c") == [40, 20]
+        taken = batch.take([1])
+        assert taken.to_rows() == [{"T.c": 20}]
+
+    def test_missing_column_yields_nulls(self):
+        batch = Batch({"T.c": [1, 2]}, sel=[0, 1])
+        assert batch.column("T.missing") == [None, None]
+
+    def test_merge_inner_wins_collisions(self):
+        outer = Batch({"A.x": [1, 2]}, sel=[0, 1])
+        inner = Batch({"A.x": [9], "B.y": [7]}, sel=[0])
+        merged = _merge_batches(outer, [0, 1], inner, [0, 0])
+        assert merged.to_rows() == [{"A.x": 9, "B.y": 7}, {"A.x": 9, "B.y": 7}]
+
+    def test_empty_batch(self):
+        batch = Batch({}, None, 0)
+        assert batch.to_rows() == []
+        assert batch.length == 0
+
+
+@pytest.mark.slow
+class TestWorkloadDifferential:
+    """Randomized TPC-DS + client plans through both engines (the tentpole's
+    acceptance differential: identical rows, elapsed_ms and cardinalities)."""
+
+    def _workload_sqls(self, workload, count):
+        return [sql for _, sql in workload.queries[:count]]
+
+    def test_tpcds_plans_identical(self, tiny_tpcds_workload):
+        db = tiny_tpcds_workload.database
+        sqls = self._workload_sqls(tiny_tpcds_workload, 10)
+        checked = run_differential(db, sqls, random_plans_per_query=4)
+        assert checked >= 10
+
+    def test_tpcds_plans_identical_with_memo(self, tiny_tpcds_workload):
+        db = tiny_tpcds_workload.database
+        sqls = self._workload_sqls(tiny_tpcds_workload, 10)
+        memo = ExecutionMemo()
+        run_differential(db, sqls, random_plans_per_query=4, memo=memo)
+        assert memo.hits > 0
+
+    def test_client_plans_identical(self, tiny_client_workload):
+        db = tiny_client_workload.database
+        sqls = self._workload_sqls(tiny_client_workload, 10)
+        memo = ExecutionMemo()
+        checked = run_differential(db, sqls, random_plans_per_query=4)
+        checked_memo = run_differential(db, sqls, random_plans_per_query=4, memo=memo)
+        assert checked == checked_memo >= 10
+
+    def test_learning_outcome_identical_across_engines(self, tiny_tpcds_workload):
+        """End-to-end: the learning tier discovers the same templates with the
+        vectorized+memoized engine as with the row engine."""
+        from repro.core.galo import Galo
+        from repro.core.knowledge_base import KnowledgeBase
+        from repro.core.learning.engine import LearningConfig
+
+        db = tiny_tpcds_workload.database
+        queries = tiny_tpcds_workload.queries[:3]
+        config = LearningConfig(
+            max_joins=2, random_plans_per_subquery=3, max_variants=2
+        )
+        outcomes = []
+        try:
+            for engine in ("row", "vectorized"):
+                db.set_executor(engine)
+                galo = Galo(
+                    db, knowledge_base=KnowledgeBase(), learning_config=config
+                )
+                report = galo.learn(queries, workload_name=f"diff-{engine}")
+                names = sorted(
+                    template.name.split(":", 1)[1]
+                    for template in galo.knowledge_base.all_templates()
+                )
+                improvements = sorted(
+                    round(value, 12)
+                    for record in report.records
+                    for value in record.improvements
+                )
+                outcomes.append((report.template_count, names, improvements))
+        finally:
+            db.set_executor("vectorized")
+        assert outcomes[0] == outcomes[1]
