@@ -1,0 +1,166 @@
+"""Serving-tier benchmark: sustained throughput and tail latency.
+
+Pushes a TPC-DS request stream through a :class:`GaloService` twice -- once
+with background learning enabled and once without -- and reports sustained
+queries/sec plus p95 request latency for both.  The acceptance bar: serving
+with background learning on sustains at least 80 % of the learning-off
+throughput (learning runs on a dedicated thread and must never stall the
+serving workers).
+
+The learning-on run goes first: any warm-up it pays for (plan caches, sorted
+index keys) then benefits the learning-off baseline, biasing the measured
+ratio *against* the 80 % bar, never for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.experiments.harness import bench_tiny_mode
+from repro.service import GaloService, ServiceConfig
+
+#: Guard for the whole async scenario; a hung loop fails instead of wedging.
+GUARD_SECONDS = 540
+
+#: How many times the workload's query list is cycled through the service.
+STREAM_REPEATS = 3
+
+
+def _requests_for(bundle, repeats: int):
+    queries = bundle.workload.queries
+    return [
+        (f"{name}@{cycle}", sql)
+        for cycle in range(repeats)
+        for name, sql in queries
+    ]
+
+
+def _serve_stream(bundle, knowledge_base, requests, learning_enabled: bool):
+    """Serve ``requests``; returns (qps over the stream, p95 ms, snapshot)."""
+    galo = Galo(
+        bundle.workload.database,
+        knowledge_base=knowledge_base,
+        learning_config=bundle.galo.learning_engine.config,
+        matching_config=bundle.galo.matching_engine.config,
+    )
+    # stream() self-throttles to max_pending, so the default admission budget
+    # works for any batch size without rejections.
+    service = GaloService(
+        galo,
+        ServiceConfig(max_workers=4, learning_enabled=learning_enabled),
+    )
+
+    async def scenario():
+        async with service:
+            started = time.perf_counter()
+            completed = 0
+            async for response in service.stream(requests):
+                assert response.ok, response.error
+                completed += 1
+            seconds = time.perf_counter() - started
+            # Drain after the clock stops: learning is background work and the
+            # metric is *serving* throughput while it runs.
+            await service.drain()
+            return completed, seconds
+
+    completed, seconds = asyncio.run(asyncio.wait_for(scenario(), GUARD_SECONDS))
+    qps = completed / max(seconds, 1e-9)
+    return qps, service.metrics.latency_percentile(95), service.metrics.snapshot()
+
+
+def test_bench_serving_sustained_throughput(benchmark, tpcds_bundle, tmp_path):
+    """Queries/sec + p95 with background learning on vs off."""
+    requests = _requests_for(tpcds_bundle, STREAM_REPEATS)
+
+    # Each run gets its own copy of the learned knowledge base so the
+    # learning-on run's new templates cannot leak into the baseline.
+    kb_dir = str(tmp_path / "kb")
+    tpcds_bundle.galo.save_knowledge_base(kb_dir)
+
+    # Unmeasured warm-up: fills the engine-level caches (explain plans,
+    # segment SPARQL, sort orders) that both measured runs share, so the
+    # on/off ratio isolates the cost of background learning rather than
+    # charging all cold-start work to whichever run goes first.
+    _serve_stream(
+        tpcds_bundle, KnowledgeBase.load(kb_dir), requests, learning_enabled=False
+    )
+
+    measured = {}
+
+    def serve_learning_on():
+        qps, p95, snapshot = _serve_stream(
+            tpcds_bundle, KnowledgeBase.load(kb_dir), requests, learning_enabled=True
+        )
+        measured["on"] = (qps, p95, snapshot)
+        return qps
+
+    benchmark.pedantic(serve_learning_on, rounds=1, iterations=1)
+    off_qps, off_p95, off_snapshot = _serve_stream(
+        tpcds_bundle, KnowledgeBase.load(kb_dir), requests, learning_enabled=False
+    )
+    on_qps, on_p95, on_snapshot = measured["on"]
+
+    ratio = on_qps / max(off_qps, 1e-9)
+    benchmark.extra_info["requests"] = len(requests)
+    benchmark.extra_info["learning_on_qps"] = on_qps
+    benchmark.extra_info["learning_off_qps"] = off_qps
+    benchmark.extra_info["learning_on_p95_ms"] = on_p95
+    benchmark.extra_info["learning_off_p95_ms"] = off_p95
+    benchmark.extra_info["throughput_ratio"] = ratio
+    benchmark.extra_info["templates_learned_online"] = on_snapshot["templates_learned"]
+    benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
+
+    assert on_qps > 0 and off_qps > 0
+    assert on_p95 > 0 and off_p95 > 0
+    assert off_snapshot["learning_enqueued"] == 0
+    # The acceptance bar applies at the default bench config; the tiny CI
+    # smoke config serves too few requests for the ratio to be stable.
+    if not bench_tiny_mode():
+        assert ratio >= 0.8, (
+            f"background learning costs too much serving throughput: "
+            f"{on_qps:.1f} vs {off_qps:.1f} qps (ratio {ratio:.2f})"
+        )
+
+
+def test_bench_serving_admission_control_sheds_load(benchmark, tpcds_bundle):
+    """Overload behaviour: a tiny pending budget rejects instead of queueing.
+
+    Uses raw concurrent ``submit`` calls (many independent clients), not
+    ``stream`` -- a single streaming caller deliberately self-throttles and
+    would never trip admission control.
+    """
+    requests = _requests_for(tpcds_bundle, 1)
+    galo = Galo(
+        tpcds_bundle.workload.database,
+        knowledge_base=tpcds_bundle.galo.knowledge_base,
+        matching_config=tpcds_bundle.galo.matching_engine.config,
+    )
+    service = GaloService(
+        galo,
+        ServiceConfig(
+            max_workers=2, max_pending=4,
+            steering_enabled=True, learning_enabled=False,
+        ),
+    )
+
+    async def scenario():
+        async with service:
+            return await asyncio.gather(
+                *[service.submit(sql, query_name=name) for name, sql in requests]
+            )
+
+    def overload():
+        return asyncio.run(asyncio.wait_for(scenario(), GUARD_SECONDS))
+
+    responses = benchmark.pedantic(overload, rounds=1, iterations=1)
+    ok = sum(r.ok for r in responses)
+    rejected = sum(r.rejected for r in responses)
+    benchmark.extra_info["ok"] = ok
+    benchmark.extra_info["rejected"] = rejected
+    assert ok + rejected == len(requests)
+    assert ok >= 1
+    if len(requests) > 8:
+        assert rejected >= 1, "overload must shed load, not queue unboundedly"

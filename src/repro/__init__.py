@@ -11,6 +11,9 @@ This package is a from-scratch Python reproduction of the GALO system
 * :mod:`repro.core` -- GALO itself: the transformation engine (QGM <-> RDF,
   QGM -> SPARQL), the offline learning engine, the knowledge base, and the
   online matching engine.
+* :mod:`repro.service` -- the online serving tier: an asyncio front-end with
+  admission control, runtime feedback, background continuous learning and
+  knowledge-base lifecycle management.
 * :mod:`repro.workloads` -- TPC-DS-like and "IBM client"-like synthetic
   workloads (schemas, skewed data generators, query generators).
 * :mod:`repro.experiments` -- the harness that regenerates every experiment
@@ -22,13 +25,29 @@ from repro.core.knowledge_base import KnowledgeBase, ProblemPatternTemplate
 from repro.engine.config import DbConfig
 from repro.engine.database import Database
 
+#: Serving-tier exports resolved lazily (PEP 562): batch/experiment users of
+#: ``import repro`` never pay for the asyncio serving layer, matching the
+#: lazy import inside :meth:`repro.core.galo.Galo.create_service`.
+_SERVICE_EXPORTS = {"GaloService", "ServiceConfig"}
+
+
+def __getattr__(name):
+    if name in _SERVICE_EXPORTS:
+        from repro import service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Galo",
+    "GaloService",
     "ReoptimizationResult",
     "KnowledgeBase",
     "ProblemPatternTemplate",
     "Database",
     "DbConfig",
+    "ServiceConfig",
     "__version__",
 ]
 

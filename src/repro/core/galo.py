@@ -90,7 +90,29 @@ class Galo:
             queries, execute=execute, parallelism=parallelism
         )
 
+    # -- online serving --------------------------------------------------------
+
+    def create_service(self, config=None):
+        """Build a :class:`repro.service.GaloService` over this instance.
+
+        The service connects the two tiers into a long-lived system: it
+        serves queries through the matching tier and keeps learning in the
+        background from runtime feedback.  Imported lazily to keep the core
+        importable without the serving layer.
+        """
+        from repro.service.service import GaloService
+
+        return GaloService(self, config)
+
     # -- knowledge base management ---------------------------------------------
+
+    def evict_template(self, template_id: str) -> bool:
+        """Online eviction of one template (index maintained incrementally)."""
+        return self.knowledge_base.evict_template(template_id)
+
+    def enforce_kb_capacity(self, capacity: int) -> List[str]:
+        """Evict cold/low-benefit templates until at most ``capacity`` remain."""
+        return self.knowledge_base.enforce_capacity(capacity)
 
     def save_knowledge_base(self, directory: str) -> None:
         self.knowledge_base.save(directory)

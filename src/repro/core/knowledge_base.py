@@ -182,6 +182,12 @@ class TemplateIndex:
     the expensive SPARQL query-by-example runs against a small candidate set
     instead of the whole knowledge base.  Every check is conservative: a
     template the SPARQL evaluation could match is never filtered out.
+
+    Maintenance is incremental: ``add`` and ``remove`` update the buckets in
+    place (no full rebuild), and both replace bucket lists copy-on-write so a
+    concurrent ``candidates`` call iterating an old list never observes a
+    partially mutated bucket (the online serving tier mutates the knowledge
+    base from a background learning thread while serving threads match).
     """
 
     def __init__(self) -> None:
@@ -204,14 +210,33 @@ class TemplateIndex:
     def add(self, profile: TemplateProfile) -> None:
         self._profiles[profile.template_id] = profile
         key = (profile.join_count, profile.scan_count)
-        self._by_shape.setdefault(key, []).append(profile.template_id)
+        self._by_shape[key] = self._by_shape.get(key, []) + [profile.template_id]
+
+    def remove(self, template_id: str) -> bool:
+        """Drop one template from the index; True when it was present."""
+        profile = self._profiles.pop(template_id, None)
+        if profile is None:
+            return False
+        key = (profile.join_count, profile.scan_count)
+        remaining = [
+            existing for existing in self._by_shape.get(key, []) if existing != template_id
+        ]
+        if remaining:
+            self._by_shape[key] = remaining
+        else:
+            self._by_shape.pop(key, None)
+        return True
 
     def candidates(self, segment: SegmentProfile) -> List[str]:
         """Template ids that could match a segment with the given profile."""
         bucket = self._by_shape.get((segment.join_count, segment.scan_count), ())
         out: List[str] = []
         for template_id in bucket:
-            profile = self._profiles[template_id]
+            # ``get``: a concurrent eviction may have dropped the profile after
+            # this thread picked up the (immutable) bucket list.
+            profile = self._profiles.get(template_id)
+            if profile is None:
+                continue
             if not self._covers(profile, segment):
                 continue
             out.append(template_id)
@@ -234,6 +259,14 @@ class TemplateIndex:
         return True
 
 
+@dataclass
+class TemplateUsage:
+    """Online usage bookkeeping for one template (feeds the eviction policy)."""
+
+    hits: int = 0
+    last_used_tick: int = 0
+
+
 class KnowledgeBase:
     """RDF-backed store of problem-pattern templates (the paper's Fuseki/TDB)."""
 
@@ -244,7 +277,8 @@ class KnowledgeBase:
         self.graph = Graph()
         self.templates: Dict[str, ProblemPatternTemplate] = {}
         #: Pre-filtering index over the templates; kept in lockstep with
-        #: ``templates`` / ``graph`` by ``add_template`` and ``load``.
+        #: ``templates`` / ``graph`` by ``add_template``, ``evict_template``
+        #: and ``load``.
         self.index = TemplateIndex()
         #: template id -> the template's own triples, so candidate templates
         #: can be evaluated in isolation instead of against the whole graph.
@@ -263,6 +297,18 @@ class KnowledgeBase:
             "templates_skipped": 0,
         }
         self._stats_lock = threading.Lock()
+        #: Online lifecycle observability (adds / evictions / updates).
+        self.lifecycle_stats = {"added": 0, "evicted": 0, "updated": 0}
+        #: Per-template match usage, driving the LRU half of the eviction
+        #: policy.  Ticks come from a logical clock (one tick per ``match``
+        #: call) so eviction order is reproducible across runs.
+        self._usage: Dict[str, TemplateUsage] = {}
+        self._usage_tick = 0
+        #: Serializes structural mutations (add / evict / update / rebuild).
+        #: Readers (``match``) deliberately do not take it: the index and the
+        #: per-template subgraphs are maintained copy-on-write, so a reader
+        #: always sees either the old or the new state of any one template.
+        self._write_lock = threading.RLock()
 
     # ------------------------------------------------------------------
 
@@ -321,15 +367,18 @@ class KnowledgeBase:
                 for key, bounds in cardinality_bounds.items()
             },
         )
-        self.templates[template_id] = template
-        self._add_template_triples(
-            template,
-            problem_root,
-            cardinality_bounds,
-            catalog,
-            fpages_widening,
-            row_size_slack,
-        )
+        with self._write_lock:
+            self.templates[template_id] = template
+            self._add_template_triples(
+                template,
+                problem_root,
+                cardinality_bounds,
+                catalog,
+                fpages_widening,
+                row_size_slack,
+            )
+            self._usage[template_id] = TemplateUsage(last_used_tick=self._usage_tick)
+            self.lifecycle_stats["added"] += 1
         return template
 
     def _add_template_triples(
@@ -460,20 +509,185 @@ class KnowledgeBase:
         the JSON registry, from which the per-template partition is recovered
         by following each template's ``inTemplate`` triples.
         """
-        self.index.clear()
-        self._template_graphs.clear()
-        for template_id, template in self.templates.items():
-            template_resource = voc.TEMPLATE[template_id]
-            subjects = [template_resource] + [
-                triple.subject
-                for triple in self.graph.triples(None, voc.IN_TEMPLATE, template_resource)
-            ]
-            subgraph = Graph()
-            for subject in subjects:
-                for triple in self.graph.triples(subject, None, None):
-                    subgraph.add(triple)
-            self._template_graphs[template_id] = subgraph
-            self.index.add(self._profile_from_subgraph(template, subgraph))
+        with self._write_lock:
+            self.index.clear()
+            self._template_graphs.clear()
+            for template_id, template in self.templates.items():
+                template_resource = voc.TEMPLATE[template_id]
+                subjects = [template_resource] + [
+                    triple.subject
+                    for triple in self.graph.triples(None, voc.IN_TEMPLATE, template_resource)
+                ]
+                subgraph = Graph()
+                for subject in subjects:
+                    for triple in self.graph.triples(subject, None, None):
+                        subgraph.add(triple)
+                self._template_graphs[template_id] = subgraph
+                self.index.add(self._profile_from_subgraph(template, subgraph))
+
+    # ------------------------------------------------------------------
+    # online lifecycle: evict / update / capacity enforcement
+    # ------------------------------------------------------------------
+
+    def evict_template(self, template_id: str) -> bool:
+        """Remove one template as a first-class online operation.
+
+        The index entry, the per-template subgraph, the registry entry and the
+        template's triples in the global store are all dropped incrementally
+        (no rebuild), in an order that keeps concurrent indexed matching safe:
+        the index stops offering the template before its subgraph goes away,
+        and ``match`` treats a missing subgraph/registry entry as a non-match.
+        Returns True when the template existed.
+        """
+        with self._write_lock:
+            if template_id not in self.templates:
+                return False
+            self.index.remove(template_id)
+            subgraph = self._template_graphs.pop(template_id, None)
+            self.templates.pop(template_id)
+            self._usage.pop(template_id, None)
+            if subgraph is not None:
+                # Template subjects are anonymized per template (uuid-suffixed
+                # resources), so no triple is shared with another template and
+                # removing the subgraph's triples cannot corrupt a neighbour.
+                for triple in list(subgraph):
+                    self.graph.remove(triple)
+            self.lifecycle_stats["evicted"] += 1
+            return True
+
+    def update_template(
+        self,
+        template_id: str,
+        *,
+        improvement: Optional[float] = None,
+        guideline_xml: Optional[str] = None,
+        recommended_summary: Optional[str] = None,
+    ) -> Optional[ProblemPatternTemplate]:
+        """Update a stored template's recommendation in place.
+
+        The registry entry and the template's triples (improvement, guideline)
+        are kept consistent so a subsequent ``save`` / ``load`` round-trips the
+        new values; the index needs no maintenance because neither field
+        participates in pre-filtering.  Returns None when the template does
+        not (or no longer) exist -- losing the race against a concurrent
+        eviction is a normal lifecycle outcome, like ``evict_template``
+        returning False.
+        """
+        with self._write_lock:
+            template = self.templates.get(template_id)
+            if template is None:
+                return None
+            resource = voc.TEMPLATE[template_id]
+            if improvement is not None:
+                self._replace_literal(
+                    template_id, resource, voc.HAS_IMPROVEMENT, round(improvement, 4)
+                )
+                template.improvement = improvement
+            if guideline_xml is not None:
+                self._replace_literal(
+                    template_id, resource, voc.HAS_GUIDELINE, guideline_xml
+                )
+                template.guideline_xml = guideline_xml
+            if recommended_summary is not None:
+                template.recommended_summary = recommended_summary
+            self.lifecycle_stats["updated"] += 1
+            return template
+
+    def _replace_literal(self, template_id, subject, predicate, value) -> None:
+        """Swap the object of (subject, predicate, *) in the store and subgraph.
+
+        The per-template subgraph is replaced copy-on-write -- a concurrent
+        indexed ``match`` keeps reading the old (complete) subgraph and the
+        swap of the dict entry is atomic -- matching the contract that lets
+        readers skip ``_write_lock``.  The global store is edited in place;
+        it is only read by ``match_brute_force`` (a verification path) and
+        ``save`` (which takes the write lock).
+        """
+        for triple in list(self.graph.triples(subject, predicate, None)):
+            self.graph.remove(triple)
+        self.graph.add_triple(subject, predicate, Literal(value))
+        old_subgraph = self._template_graphs.get(template_id)
+        if old_subgraph is not None:
+            replacement = Graph(
+                triple
+                for triple in old_subgraph
+                if not (triple.subject == subject and triple.predicate == predicate)
+            )
+            replacement.add_triple(subject, predicate, Literal(value))
+            self._template_graphs[template_id] = replacement
+
+    def note_template_used(self, template_id: str) -> None:
+        """Record one online hit for ``template_id`` (recency + frequency)."""
+        with self._stats_lock:
+            self._record_usage_locked([template_id])
+
+    def _record_usage_locked(self, template_ids: Sequence[str]) -> None:
+        """One shared tick for a batch of hits.  Caller holds ``_stats_lock``.
+
+        Ids no longer in the registry are skipped: recording a hit for a
+        concurrently evicted template would resurrect a dead usage entry.
+        """
+        self._usage_tick += 1
+        for template_id in template_ids:
+            if template_id not in self.templates:
+                continue
+            usage = self._usage.get(template_id)
+            if usage is None:
+                usage = TemplateUsage()
+                self._usage[template_id] = usage
+            usage.hits += 1
+            usage.last_used_tick = self._usage_tick
+
+    def template_usage(self, template_id: str) -> TemplateUsage:
+        return self._usage.get(template_id, TemplateUsage())
+
+    def eviction_order(self) -> List[str]:
+        """Template ids sorted most-evictable first.
+
+        The policy evicts cold, low-benefit templates: fewest online hits,
+        then smallest recorded improvement, then least recently used; name and
+        id break the remaining ties so the order is fully deterministic.
+        """
+        def score(template_id: str) -> Tuple:
+            usage = self.template_usage(template_id)
+            template = self.templates[template_id]
+            return (
+                usage.hits,
+                template.improvement,
+                usage.last_used_tick,
+                template.name,
+                template_id,
+            )
+
+        return sorted(self.templates, key=score)
+
+    def enforce_capacity(self, capacity: int) -> List[str]:
+        """Evict templates until at most ``capacity`` remain.
+
+        Returns the evicted template ids (possibly empty).  Eviction follows
+        :meth:`eviction_order`; the index, subgraphs, registry and triple
+        store stay consistent throughout, so matching and persistence keep
+        working mid-eviction.
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        evicted: List[str] = []
+        with self._write_lock:
+            if len(self.templates) <= capacity:
+                return evicted
+            for template_id in self.eviction_order():
+                if len(self.templates) <= capacity:
+                    break
+                if self.evict_template(template_id):
+                    evicted.append(template_id)
+            # A match() racing an eviction can re-insert a usage entry for a
+            # template that no longer exists; prune so dead entries cannot
+            # accumulate over a long-lived service's lifetime.
+            with self._stats_lock:
+                for template_id in list(self._usage):
+                    if template_id not in self.templates:
+                        del self._usage[template_id]
+        return evicted
 
     # ------------------------------------------------------------------
 
@@ -510,8 +724,12 @@ class KnowledgeBase:
             solutions: List[dict] = []
             for template_id in candidate_ids:
                 subgraph = self._template_graphs.get(template_id)
-                if subgraph is None:  # pragma: no cover - defensive
-                    subgraph = self.graph
+                if subgraph is None:
+                    # Evicted between the candidates() snapshot and here; the
+                    # template is gone, so it simply no longer matches.  (The
+                    # global graph is mid-mutation during an eviction and must
+                    # not be read as a fallback.)
+                    continue
                 solutions.extend(SparqlEngine(subgraph).query(query_ast))
         else:
             with self._stats_lock:
@@ -541,6 +759,11 @@ class KnowledgeBase:
             root = next(iter(generated.node_for_variable.values()))
         matches: List[TemplateMatch] = []
         for template_id, template_solutions in solutions_by_template.items():
+            # A concurrent eviction may have removed the template after its
+            # solutions were collected; treat it as a non-match.
+            template = self.templates.get(template_id)
+            if template is None:
+                continue
             # The evaluator enumerates solutions in hash order, which differs
             # between the flat graph and a template subgraph; picking the
             # canonically smallest solution makes the chosen bindings identical
@@ -553,13 +776,18 @@ class KnowledgeBase:
                     label_to_alias[str(value.value)] = scan_node.table_alias
             matches.append(
                 TemplateMatch(
-                    template=self.templates[template_id],
+                    template=template,
                     label_to_alias=label_to_alias,
                     subplan_root=root,
                     bindings=dict(solution),
                 )
             )
         matches.sort(key=lambda match: (match.template.name, match.template.template_id))
+        if matches:
+            with self._stats_lock:
+                self._record_usage_locked(
+                    [match.template.template_id for match in matches]
+                )
         return matches
 
     def match_brute_force(
@@ -591,21 +819,24 @@ class KnowledgeBase:
         scan over the triple store)."""
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        (path / "knowledge_base.nt").write_text(self.graph.to_ntriples(), encoding="utf-8")
-        (path / "template_index.json").write_text(
-            json.dumps(self._index_payload(), indent=2, sort_keys=True),
-            encoding="utf-8",
-        )
-        # The registry is written last as the commit point: a crash mid-save
-        # leaves load() failing loudly on the missing/old registry rather
-        # than silently pairing a fresh registry with a stale index.
-        registry = {
-            template_id: template.to_dict()
-            for template_id, template in self.templates.items()
-        }
-        (path / "templates.json").write_text(
-            json.dumps(registry, indent=2, sort_keys=True), encoding="utf-8"
-        )
+        # Under the write lock: an online learner adding or evicting templates
+        # mid-save would otherwise leave the three files mutually inconsistent.
+        with self._write_lock:
+            (path / "knowledge_base.nt").write_text(self.graph.to_ntriples(), encoding="utf-8")
+            (path / "template_index.json").write_text(
+                json.dumps(self._index_payload(), indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            # The registry is written last as the commit point: a crash mid-save
+            # leaves load() failing loudly on the missing/old registry rather
+            # than silently pairing a fresh registry with a stale index.
+            registry = {
+                template_id: template.to_dict()
+                for template_id, template in self.templates.items()
+            }
+            (path / "templates.json").write_text(
+                json.dumps(registry, indent=2, sort_keys=True), encoding="utf-8"
+            )
 
     def _index_payload(self) -> dict:
         """Serializable form of the index profiles + per-template subjects."""

@@ -92,9 +92,13 @@ def _project_query(parent: BoundQuery, aliases: FrozenSet[str]) -> BoundQuery:
         tables=tables,
         select_items=select_items,
         select_star=False,
+        # ``aliases`` is a frozenset; iterate it in sorted order so the
+        # insertion order of ``local_predicates`` (and therefore the rendered
+        # sub-query SQL, which seeds the Random Plan Generator) does not
+        # depend on PYTHONHASHSEED.
         local_predicates={
             alias: list(parent.local_predicates.get(alias, []))
-            for alias in aliases
+            for alias in sorted(aliases)
             if parent.local_predicates.get(alias)
         },
         join_predicates=[

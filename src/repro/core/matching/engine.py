@@ -116,6 +116,33 @@ class QueryReoptimization:
         return self.reoptimized_elapsed_ms / self.original_elapsed_ms
 
 
+@dataclass
+class SteeringDecision:
+    """Outcome of the plan-only online pipeline (no execution).
+
+    Produced by :meth:`MatchingEngine.steer` for the serving tier, which wants
+    to execute a query exactly once -- on the steered plan when the knowledge
+    base matched, on the baseline plan otherwise -- instead of executing both
+    sides the way :meth:`MatchingEngine.reoptimize` does for experiments.
+    """
+
+    query_name: str
+    sql: str
+    baseline_qgm: Qgm
+    qgm: Qgm
+    matches: List[TemplateMatch] = field(default_factory=list)
+    guideline_document: GuidelineDocument = field(default_factory=GuidelineDocument)
+    match_time_ms: float = 0.0
+
+    @property
+    def steered(self) -> bool:
+        return bool(self.matches) and not self.guideline_document.is_empty
+
+    @property
+    def matched_template_ids(self) -> List[str]:
+        return [match.template.template_id for match in self.matches]
+
+
 class MatchingEngine:
     """Re-optimizes queries online using the knowledge base."""
 
@@ -257,6 +284,31 @@ class MatchingEngine:
                 # own rather than folded into the simulated runtime.
                 result.reoptimized_elapsed_ms = reoptimized_run.elapsed_ms
         return result
+
+    def steer(self, sql: str, query_name: str = "") -> SteeringDecision:
+        """Match and (when possible) re-plan one query without executing it.
+
+        When no template matches, ``qgm`` is the baseline plan; the caller
+        executes whichever plan the decision carries exactly once.
+        """
+        baseline_qgm = self.database.explain(sql, query_name=query_name)
+        matches, match_time_ms = self.match_plan(baseline_qgm)
+        guideline_document = self.build_guidelines(matches)
+        if guideline_document.is_empty:
+            qgm = baseline_qgm
+        else:
+            qgm = self.database.explain(
+                sql, guidelines=guideline_document, query_name=f"{query_name} (steered)"
+            )
+        return SteeringDecision(
+            query_name=query_name,
+            sql=sql,
+            baseline_qgm=baseline_qgm,
+            qgm=qgm,
+            matches=matches,
+            guideline_document=guideline_document,
+            match_time_ms=match_time_ms,
+        )
 
     def reoptimize_workload(
         self,

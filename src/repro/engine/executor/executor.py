@@ -44,6 +44,30 @@ class ExecutionResult:
     def row_count(self) -> int:
         return len(self.rows)
 
+    def cardinality_q_errors(self, qgm: Qgm) -> Dict[int, float]:
+        """Per-operator q-error: max(est/actual, actual/est), both floored at 1.
+
+        Keyed by operator id, only for operators whose actual cardinality was
+        observed during this execution.  This is the runtime-feedback signal
+        the serving tier's monitor thresholds on: a large q-error anywhere in
+        the plan marks the query as mis-estimated and therefore a candidate
+        for background learning.
+        """
+        errors: Dict[int, float] = {}
+        for node in qgm.root.walk():
+            actual = self.actual_cardinalities.get(node.operator_id)
+            if actual is None:
+                continue
+            estimated = max(1.0, float(node.estimated_cardinality))
+            observed = max(1.0, float(actual))
+            errors[node.operator_id] = max(estimated / observed, observed / estimated)
+        return errors
+
+    def max_q_error(self, qgm: Qgm) -> float:
+        """The plan's worst per-operator cardinality q-error (1.0 = perfect)."""
+        errors = self.cardinality_q_errors(qgm)
+        return max(errors.values()) if errors else 1.0
+
 
 def equi_join_keys(
     node: PlanNode, outer_aliases: set, inner_aliases: set

@@ -106,7 +106,9 @@ def _propagate_constants(query: BoundQuery) -> None:
         if not constants:
             continue
         constant = constants[0]
-        for column in equivalence_class:
+        # Sorted iteration: the derived predicates' append order must not
+        # depend on the set's (PYTHONHASHSEED-sensitive) iteration order.
+        for column in sorted(equivalence_class, key=lambda ref: ref.key):
             existing = query.local_predicates.get(column.qualifier, [])
             predicate = Comparison(op="=", left=column, right=constant)
             if str(predicate) not in {str(p) for p in existing}:

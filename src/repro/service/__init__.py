@@ -1,0 +1,38 @@
+"""GALO's online serving tier.
+
+The paper's two tiers -- offline learning and online matching -- are connected
+here into one long-lived system: an asyncio front-end serving a stream of SQL
+requests through the indexed matching tier and the vectorized engine, a
+runtime-feedback monitor that spots mis-estimated or regressed queries, a
+background learning loop that keeps growing the knowledge base while the
+system serves, and knowledge-base lifecycle management (size cap, eviction,
+incremental index maintenance).
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.feedback import (
+    FeedbackMonitor,
+    LearningTask,
+    QueryObservation,
+    sql_fingerprint,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.service import (
+    GaloService,
+    ServiceRequest,
+    ServiceResponse,
+    serve_workload,
+)
+
+__all__ = [
+    "FeedbackMonitor",
+    "GaloService",
+    "LearningTask",
+    "QueryObservation",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceRequest",
+    "ServiceResponse",
+    "serve_workload",
+    "sql_fingerprint",
+]

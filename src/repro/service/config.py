@@ -1,0 +1,83 @@
+"""Configuration for the online serving tier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of :class:`repro.service.GaloService`.
+
+    Admission control / backpressure
+    --------------------------------
+    ``max_workers`` bounds how many queries execute concurrently (one thread
+    each; matching + execution are synchronous CPU work).  ``max_pending``
+    bounds the total number of admitted-but-unfinished requests (running plus
+    waiting for a worker); a submission arriving beyond that is rejected
+    immediately with a ``"rejected"`` response instead of queueing without
+    bound -- the caller sheds load or retries.
+
+    Continuous learning
+    -------------------
+    With ``learning_enabled``, every executed query is fed to the feedback
+    monitor; mis-estimated or regressed queries are enqueued (deduplicated by
+    SQL hash) onto a background learning queue drained by one dedicated
+    learner thread, so learning never occupies a serving worker.  The queue
+    itself is bounded by ``learning_queue_limit``; when it is full new
+    candidates are dropped (and counted) rather than blocking serving.
+    """
+
+    #: Serving worker threads (concurrent query executions).
+    max_workers: int = 4
+    #: Admission cap: running + queued requests before submissions are rejected.
+    max_pending: int = 64
+    #: Match incoming queries against the knowledge base and run steered plans.
+    steering_enabled: bool = True
+    #: Feed runtime feedback into the background learning loop.
+    learning_enabled: bool = True
+    #: Bound on queued background-learning tasks (full queue drops, not blocks).
+    learning_queue_limit: int = 256
+    #: The learner prefers idle windows (the paper ran learning during
+    #: non-peak hours): before starting a task it waits for the service to
+    #: have no requests in flight, up to this many seconds, then proceeds
+    #: anyway so sustained 24/7 traffic cannot starve learning forever.
+    learning_idle_wait_seconds: float = 5.0
+    #: Fraction of wall time the background learner may consume *while
+    #: foreground requests are in flight* (0 < d <= 1).  Learning is
+    #: GIL-bound CPU work: run back to back it steals cycles from the serving
+    #: workers, so after a learning task that overlapped traffic the learner
+    #: sleeps ``task_seconds * (1 - d) / d`` before taking the next one.
+    #: During idle windows no pacing applies (there is nothing to protect).
+    learning_duty_cycle: float = 0.25
+    #: Worst per-operator cardinality q-error before a query is considered
+    #: mis-estimated and enqueued for learning (1.0 = estimates were perfect).
+    q_error_threshold: float = 4.0
+    #: Factor over a query's best observed runtime before a repeat execution
+    #: is considered regressed and enqueued for (re-)learning.
+    regression_threshold: float = 1.5
+    #: Knowledge-base size cap enforced after each background learning step
+    #: (None = unbounded).  Eviction follows the cold/low-benefit-first policy
+    #: of :meth:`repro.core.knowledge_base.KnowledgeBase.eviction_order`.
+    kb_capacity: Optional[int] = None
+    #: Workload name recorded on templates learned online.
+    online_workload_name: str = "online"
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.learning_queue_limit < 1:
+            raise ValueError("learning_queue_limit must be >= 1")
+        if not 0.0 < self.learning_duty_cycle <= 1.0:
+            raise ValueError("learning_duty_cycle must be in (0, 1]")
+        if self.learning_idle_wait_seconds < 0:
+            raise ValueError("learning_idle_wait_seconds must be >= 0")
+        if self.q_error_threshold < 1.0:
+            raise ValueError("q_error_threshold must be >= 1.0 (1.0 = exact)")
+        if self.regression_threshold < 1.0:
+            raise ValueError("regression_threshold must be >= 1.0")
+        if self.kb_capacity is not None and self.kb_capacity < 0:
+            raise ValueError("kb_capacity must be >= 0")

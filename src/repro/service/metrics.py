@@ -1,0 +1,91 @@
+"""Service-level observability: counters and a latency reservoir.
+
+All updates are thread-safe: serving workers, the background learner and the
+event loop all report into one :class:`ServiceMetrics` instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+
+class ServiceMetrics:
+    """Counters + request-latency percentiles for one service instance."""
+
+    #: Latency samples kept; beyond this the reservoir keeps every k-th sample
+    #: so percentiles stay representative without unbounded memory.
+    MAX_LATENCY_SAMPLES = 65536
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected": 0,
+            "failed": 0,
+            "steered": 0,
+            "learning_enqueued": 0,
+            "learning_dropped": 0,
+            "learning_completed": 0,
+            "learning_failed": 0,
+            "templates_learned": 0,
+            "templates_evicted": 0,
+        }
+        self._latencies_ms: List[float] = []
+        self._latency_stride = 1
+        self._latency_skip = 0
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def record_latency(self, wall_ms: float) -> None:
+        with self._lock:
+            self._latency_skip += 1
+            if self._latency_skip < self._latency_stride:
+                return
+            self._latency_skip = 0
+            self._latencies_ms.append(wall_ms)
+            if len(self._latencies_ms) >= self.MAX_LATENCY_SAMPLES:
+                # Halve the reservoir and double the stride: keeps memory
+                # bounded while remaining a uniform-ish sample of the stream.
+                self._latencies_ms = self._latencies_ms[::2]
+                self._latency_stride *= 2
+
+    @staticmethod
+    def _nearest_rank(sorted_samples: List[float], percentile: float) -> float:
+        if not sorted_samples:
+            return 0.0
+        size = len(sorted_samples)
+        rank = max(0, min(size - 1, int(round(percentile / 100.0 * size)) - 1))
+        return sorted_samples[rank]
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Nearest-rank percentile of recorded wall latencies (ms); 0 if none."""
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        with self._lock:
+            samples = sorted(self._latencies_ms)
+        return self._nearest_rank(samples, percentile)
+
+    @property
+    def sample_count(self) -> int:
+        with self._lock:
+            return len(self._latencies_ms)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of every counter plus latency summary stats."""
+        with self._lock:
+            out: Dict[str, float] = dict(self._counters)
+            samples = sorted(self._latencies_ms)
+        out["latency_samples"] = len(samples)
+        if samples:
+            out["latency_p50_ms"] = self._nearest_rank(samples, 50)
+            out["latency_p95_ms"] = self._nearest_rank(samples, 95)
+            out["latency_max_ms"] = samples[-1]
+        return out

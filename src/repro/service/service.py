@@ -1,0 +1,453 @@
+"""The asyncio serving front-end: GALO as a long-lived online system.
+
+``GaloService`` accepts a stream of SQL requests and, for each one:
+
+1. matches the query against the knowledge base via the indexed online tier
+   (:meth:`repro.core.matching.engine.MatchingEngine.steer`) and plans the
+   steered (or baseline) QGM;
+2. executes that plan exactly once on the vectorized engine, in a bounded
+   worker pool, and returns rows + runtime metrics as soon as they are ready;
+3. feeds the outcome to the :class:`repro.service.feedback.FeedbackMonitor`,
+   which enqueues mis-estimated or regressed statements onto a background
+   learning queue drained by a dedicated learner thread -- the paper's offline
+   tier running continuously behind the online tier, Bao/superoptimizer-style,
+   without ever blocking serving;
+4. after each background learning step, enforces the knowledge-base size cap
+   (cold/low-benefit templates are evicted with incremental index
+   maintenance).
+
+Admission control is load-shedding, not unbounded queueing: at most
+``ServiceConfig.max_pending`` requests may be in flight (running plus waiting
+for one of the ``max_workers`` serving threads); submissions beyond that are
+answered immediately with a ``"rejected"`` response.
+
+.. code-block:: python
+
+    service = GaloService(galo, ServiceConfig(max_workers=4))
+    async with service:
+        response = await service.submit("SELECT ...", query_name="q1")
+        async for response in service.stream(queries):
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.galo import Galo
+from repro.service.config import ServiceConfig
+from repro.service.feedback import FeedbackMonitor, LearningTask
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass
+class ServiceRequest:
+    """One SQL request submitted to the service."""
+
+    sql: str
+    query_name: str = ""
+
+
+@dataclass
+class ServiceResponse:
+    """Outcome of one served request.
+
+    ``status`` is ``"ok"``, ``"rejected"`` (admission control shed the
+    request before execution) or ``"error"`` (planning/execution raised).
+    """
+
+    query_name: str
+    sql: str
+    status: str
+    rows: List[dict] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+    wall_ms: float = 0.0
+    match_time_ms: float = 0.0
+    steered: bool = False
+    matched_template_ids: List[str] = field(default_factory=list)
+    max_q_error: float = 1.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == "rejected"
+
+
+class GaloService:
+    """Long-lived asyncio front-end over a :class:`repro.core.galo.Galo`."""
+
+    def __init__(self, galo: Galo, config: Optional[ServiceConfig] = None):
+        self.galo = galo
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.feedback = FeedbackMonitor(
+            q_error_threshold=self.config.q_error_threshold,
+            regression_threshold=self.config.regression_threshold,
+        )
+        self._serve_pool: Optional[ThreadPoolExecutor] = None
+        self._learn_pool: Optional[ThreadPoolExecutor] = None
+        self._learning_queue: Optional[asyncio.Queue] = None
+        self._learner_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending = 0
+        self._started = False
+        self._stopping = False
+        #: template id -> the statement it was learned from (learner thread
+        #: only); lets an eviction re-open that statement for learning.
+        self._template_sources: Dict[str, str] = {}
+        #: Last background-learning failure, for operators ("" = none).
+        self.last_learning_error = ""
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "GaloService":
+        """Bring up the worker pools and the background learner."""
+        if self._started:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._serve_pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="galo-serve"
+        )
+        # One dedicated learner thread: learning is CPU-heavy and must never
+        # occupy a serving worker; a single drainer also serializes knowledge
+        # base mutations so matching only ever races one writer.
+        self._learn_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="galo-learn"
+        )
+        self._learning_queue = asyncio.Queue(maxsize=self.config.learning_queue_limit)
+        if self.config.learning_enabled:
+            self._learner_task = asyncio.create_task(self._drain_learning_queue())
+        self._stopping = False
+        self._started = True
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` (default) finish queued learning first."""
+        if not self._started:
+            return
+        # From here on, _enqueue_learning drops (and forgets) new feedback
+        # tasks: with the learner about to be cancelled, anything enqueued now
+        # would sit in the queue unconsumed and block its statement forever.
+        self._stopping = True
+        if drain and self.config.learning_enabled:
+            await self.drain()
+        if self._learner_task is not None:
+            self._learner_task.cancel()
+            try:
+                await self._learner_task
+            except asyncio.CancelledError:
+                pass
+            self._learner_task = None
+        assert self._serve_pool is not None and self._learn_pool is not None
+        self._serve_pool.shutdown(wait=True)
+        self._learn_pool.shutdown(wait=True)
+        self._serve_pool = None
+        self._learn_pool = None
+        self._learning_queue = None
+        self._started = False
+
+    async def __aenter__(self) -> "GaloService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted and unfinished (running + queued)."""
+        return self._pending
+
+    @property
+    def learning_backlog(self) -> int:
+        """Learning tasks waiting (or running) in the background queue."""
+        if self._learning_queue is None:
+            return 0
+        return self._learning_queue.qsize()
+
+    # -- serving -------------------------------------------------------------
+
+    async def submit(self, sql: str, query_name: str = "") -> ServiceResponse:
+        """Serve one query; resolves when its rows (or rejection) are ready."""
+        if not self._started:
+            raise RuntimeError("GaloService.submit before start()")
+        self.metrics.increment("submitted")
+        # Admission control: _pending is only touched on the event loop
+        # thread, so the check-and-increment is race-free without a lock.
+        if self._pending >= self.config.max_pending:
+            self.metrics.increment("rejected")
+            return ServiceResponse(
+                query_name=query_name, sql=sql, status="rejected",
+                error="admission control: too many pending requests",
+            )
+        self._pending += 1
+        assert self._loop is not None and self._serve_pool is not None
+        future = self._loop.run_in_executor(
+            self._serve_pool, self._serve_sync, sql, query_name
+        )
+        # Completion bookkeeping rides on the future, not on this coroutine:
+        # if the caller abandons the await (e.g. breaks out of a stream), the
+        # worker thread still finishes the query, and _pending must only drop
+        # when that work is truly done -- otherwise admission control would
+        # admit new load on top of orphaned, still-running executions.
+        future.add_done_callback(self._finish_serve)
+        response, _ = await asyncio.shield(future)
+        return response
+
+    def _finish_serve(self, future: "asyncio.Future") -> None:
+        """Done-callback (event-loop thread) for every serve execution."""
+        self._pending -= 1
+        try:
+            _, learning_task = future.result()
+        except Exception:  # pragma: no cover - _serve_sync catches internally
+            return
+        if learning_task is not None:
+            self._enqueue_learning(learning_task)
+
+    async def stream(
+        self, requests: Sequence[Union[str, Tuple[str, str], ServiceRequest]]
+    ) -> AsyncIterator[ServiceResponse]:
+        """Submit a batch concurrently; yield responses in completion order.
+
+        The batch throttles itself to ``max_pending`` concurrent submissions:
+        a single caller streaming a large batch gets backpressure, not
+        rejections.  Admission control still sheds load from *other*
+        submitters racing the stream.
+        """
+        throttle = asyncio.Semaphore(self.config.max_pending)
+
+        async def submit_throttled(name: str, sql: str) -> ServiceResponse:
+            async with throttle:
+                return await self.submit(sql, query_name=name)
+
+        tasks = []
+        for position, entry in enumerate(requests, start=1):
+            if isinstance(entry, ServiceRequest):
+                name, sql = entry.query_name, entry.sql
+            elif isinstance(entry, tuple):
+                name, sql = entry
+            else:
+                name, sql = f"Q{position}", entry
+            tasks.append(asyncio.create_task(submit_throttled(name, sql)))
+        try:
+            for done in asyncio.as_completed(tasks):
+                yield await done
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    async def drain(self) -> None:
+        """Wait until every queued background-learning task has completed."""
+        if self._learning_queue is not None:
+            await self._learning_queue.join()
+
+    # -- internals -----------------------------------------------------------
+
+    def _serve_sync(
+        self, sql: str, query_name: str
+    ) -> Tuple[ServiceResponse, Optional[LearningTask]]:
+        """Plan, (maybe) steer, execute once, observe.  Runs on a worker thread."""
+        started = time.perf_counter()
+        database = self.galo.database
+        try:
+            if self.config.steering_enabled and len(self.galo.knowledge_base):
+                decision = self.galo.matching_engine.steer(sql, query_name=query_name)
+                qgm = decision.qgm
+                steered = decision.steered
+                matched_ids = decision.matched_template_ids
+                match_time_ms = decision.match_time_ms
+                result = database.execute_plan(qgm)
+            else:
+                qgm, result = database.execute_sql_with_plan(sql, query_name=query_name)
+                steered = False
+                matched_ids = []
+                match_time_ms = 0.0
+        except Exception as exc:  # noqa: BLE001 - served errors become responses
+            self.metrics.increment("failed")
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            return (
+                ServiceResponse(
+                    query_name=query_name, sql=sql, status="error",
+                    wall_ms=wall_ms, error=f"{type(exc).__name__}: {exc}",
+                ),
+                None,
+            )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+
+        learning_task: Optional[LearningTask] = None
+        max_q_error = 1.0
+        if self.config.learning_enabled:
+            observation = self.feedback.observe(
+                sql=sql,
+                query_name=query_name,
+                qgm=qgm,
+                result=result,
+                matched=bool(matched_ids),
+                steered=steered,
+            )
+            learning_task = observation.task
+            max_q_error = observation.max_q_error
+        else:
+            max_q_error = result.max_q_error(qgm)
+
+        self.metrics.increment("completed")
+        if steered:
+            self.metrics.increment("steered")
+        self.metrics.record_latency(wall_ms)
+        response = ServiceResponse(
+            query_name=query_name,
+            sql=sql,
+            status="ok",
+            rows=result.rows,
+            elapsed_ms=result.elapsed_ms,
+            wall_ms=wall_ms,
+            match_time_ms=match_time_ms,
+            steered=steered,
+            matched_template_ids=matched_ids,
+            max_q_error=max_q_error,
+        )
+        return response, learning_task
+
+    def _enqueue_learning(self, task: LearningTask) -> None:
+        """Hand a feedback task to the background queue (drop when full)."""
+        queue = self._learning_queue
+        if queue is None or self._stopping or not self.config.learning_enabled:
+            # A concurrent stop() is tearing the learner down (or already
+            # did) after this request's _serve_sync completed; the response
+            # is still valid, the task is simply dropped (and stays
+            # re-triggerable on a future service).
+            self.metrics.increment("learning_dropped")
+            self.feedback.forget(task.sql)
+            return
+        try:
+            queue.put_nowait(task)
+            self.metrics.increment("learning_enqueued")
+        except asyncio.QueueFull:
+            self.metrics.increment("learning_dropped")
+            # Dropped, not deferred: allow the statement to re-trigger later.
+            self.feedback.forget(task.sql)
+
+    async def _drain_learning_queue(self) -> None:
+        """Background task: run queued learning work on the learner thread."""
+        assert self._learning_queue is not None and self._loop is not None
+        while True:
+            task = await self._learning_queue.get()
+            # Idle-first: learning is GIL-bound CPU work that competes with
+            # the serving workers, so prefer a window with no requests in
+            # flight (the paper ran its learning tier during non-peak hours).
+            # The wait is bounded: sustained traffic cannot starve learning.
+            waited = 0.0
+            while (
+                self._pending > 0
+                and waited < self.config.learning_idle_wait_seconds
+            ):
+                await asyncio.sleep(0.01)
+                waited += 0.01
+            overlapped_at_start = self._pending > 0
+            started = time.perf_counter()
+            try:
+                assert self._learn_pool is not None
+                await self._loop.run_in_executor(
+                    self._learn_pool, self._learn_sync, task
+                )
+            except Exception as exc:  # noqa: BLE001 - learner must survive bad tasks
+                # Not "failed": that counter tracks serving requests.  Keep
+                # the detail so a broken learner is diagnosable from outside.
+                self.metrics.increment("learning_failed")
+                self.last_learning_error = (
+                    f"{task.query_name or task.sql_hash}: {type(exc).__name__}: {exc}"
+                )
+                # Same policy as a queue-full drop: the statement may
+                # re-trigger later (the failure may have been transient).
+                self.feedback.forget(task.sql)
+            finally:
+                self._learning_queue.task_done()
+            # Duty-cycle pacing, applied only when the task overlapped
+            # foreground traffic (at its start or its end): sleeping (which
+            # releases the GIL) for the complementary share of the task's
+            # runtime caps the learner at ``learning_duty_cycle`` of wall
+            # time.  The pause is bounded and is cut short the moment the
+            # service goes idle -- an idle window has nothing to protect, so
+            # the backlog drains at full speed.
+            duty = self.config.learning_duty_cycle
+            if duty < 1.0 and (overlapped_at_start or self._pending > 0):
+                elapsed = time.perf_counter() - started
+                pause = min(
+                    elapsed * (1.0 - duty) / duty,
+                    self.config.learning_idle_wait_seconds,
+                )
+                deadline = self._loop.time() + pause
+                while self._pending > 0 and self._loop.time() < deadline:
+                    await asyncio.sleep(0.05)
+
+    def _learn_sync(self, task: LearningTask) -> None:
+        """One background learning step + KB capacity enforcement (learner thread)."""
+        record = self.galo.learn_query(
+            task.sql,
+            query_name=task.query_name or task.sql_hash,
+            workload_name=self.config.online_workload_name,
+        )
+        self.metrics.increment("learning_completed")
+        self.metrics.increment("templates_learned", len(record.templates_learned))
+        for template_id in record.templates_learned:
+            self._template_sources[template_id] = task.sql
+        if self.config.kb_capacity is not None:
+            evicted = self.galo.knowledge_base.enforce_capacity(self.config.kb_capacity)
+            if evicted:
+                self.metrics.increment("templates_evicted", len(evicted))
+                # An evicted template's statement becomes learnable again:
+                # without this, one capacity-pressured eviction would lose
+                # steering for that statement for the rest of the process.
+                for template_id in evicted:
+                    source_sql = self._template_sources.pop(template_id, None)
+                    if source_sql is not None:
+                        self.feedback.forget(source_sql)
+
+
+async def _serve_all(
+    galo: Galo,
+    requests: Sequence[Union[str, Tuple[str, str], ServiceRequest]],
+    config: Optional[ServiceConfig],
+    drain: bool,
+) -> Tuple[List[ServiceResponse], Dict[str, float]]:
+    service = GaloService(galo, config)
+    await service.start()
+    try:
+        responses = []
+        async for response in service.stream(requests):
+            responses.append(response)
+        if drain:
+            await service.drain()
+        snapshot = service.metrics.snapshot()
+    finally:
+        # Honour drain=False on the way out too: the default stop() would
+        # otherwise drain the learning queue anyway.
+        await service.stop(drain=drain)
+    return responses, snapshot
+
+
+def serve_workload(
+    galo: Galo,
+    requests: Sequence[Union[str, Tuple[str, str], ServiceRequest]],
+    config: Optional[ServiceConfig] = None,
+    drain: bool = True,
+) -> Tuple[List[ServiceResponse], Dict[str, float]]:
+    """Synchronous convenience: serve ``requests`` through a fresh service.
+
+    Spins up a :class:`GaloService`, streams the whole batch, optionally
+    drains background learning, and returns ``(responses, metrics snapshot)``
+    with responses in completion order.  Used by the benchmarks and examples;
+    long-lived callers should drive :class:`GaloService` directly.
+    """
+    return asyncio.run(_serve_all(galo, requests, config, drain))

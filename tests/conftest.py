@@ -138,6 +138,17 @@ def mini_db() -> Database:
 
 
 @pytest.fixture(scope="session")
+def serving_db() -> Database:
+    """Mid-size mini database for the serving-tier integration tests.
+
+    Separate from ``mini_db`` so background learning runs in a second or two;
+    the serving tests only read from it (learning mutates the knowledge base,
+    never the database).
+    """
+    return build_mini_database(sales_rows=4000)
+
+
+@pytest.fixture(scope="session")
 def mini_queries() -> list:
     """A handful of analytic queries over the mini database."""
     return [

@@ -1,0 +1,169 @@
+"""Feedback-monitor thresholds: what gets enqueued for background learning.
+
+The contract under test: a query whose actuals agree with the optimizer's
+estimates is *not* enqueued; a mis-estimated or regressed query is enqueued
+*exactly once* (deduplicated by SQL fingerprint); steering suppresses the
+mis-estimation trigger (the knowledge base already handled that statement).
+"""
+
+import pytest
+
+from repro.engine.executor.executor import ExecutionResult
+from repro.engine.executor.metrics import RuntimeMetrics
+from repro.service.feedback import FeedbackMonitor, sql_fingerprint
+from repro.service.metrics import ServiceMetrics
+
+
+SQL = (
+    "SELECT i_category, COUNT(*) FROM sales, item "
+    "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category"
+)
+
+
+@pytest.fixture()
+def plan(mini_db):
+    return mini_db.explain(SQL)
+
+
+def result_with(qgm, *, q_error=1.0, elapsed_ms=100.0):
+    """A synthetic execution result whose actuals are estimates scaled by q_error."""
+    actuals = {
+        node.operator_id: max(1, int(round(float(node.estimated_cardinality) * q_error)))
+        for node in qgm.root.walk()
+    }
+    return ExecutionResult(
+        rows=[], metrics=RuntimeMetrics(), elapsed_ms=elapsed_ms,
+        actual_cardinalities=actuals,
+    )
+
+
+def observe(monitor, qgm, *, sql=SQL, q_error=1.0, elapsed_ms=100.0,
+            matched=False, steered=False):
+    return monitor.observe(
+        sql=sql,
+        query_name="q",
+        qgm=qgm,
+        result=result_with(qgm, q_error=q_error, elapsed_ms=elapsed_ms),
+        matched=matched,
+        steered=steered,
+    )
+
+
+class TestMisestimationTrigger:
+    def test_accurate_estimates_are_not_enqueued(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        observation = observe(monitor, plan, q_error=1.0)
+        assert observation.task is None
+        assert observation.max_q_error == pytest.approx(1.0, abs=0.05)
+        assert monitor.enqueued_count == 0
+
+    def test_below_threshold_is_not_enqueued(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        assert observe(monitor, plan, q_error=2.0).task is None
+
+    def test_misestimated_query_is_enqueued(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        observation = observe(monitor, plan, q_error=10.0)
+        assert observation.task is not None
+        assert observation.task.reason == "misestimated"
+        assert observation.task.sql_hash == sql_fingerprint(SQL)
+        assert observation.task.max_q_error >= 4.0
+
+    def test_enqueued_exactly_once(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        first = observe(monitor, plan, q_error=10.0)
+        assert first.task is not None
+        for _ in range(5):
+            assert observe(monitor, plan, q_error=10.0).task is None
+        assert monitor.enqueued_count == 1
+
+    def test_whitespace_variants_share_one_fingerprint(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        assert observe(monitor, plan, q_error=10.0).task is not None
+        reformatted = SQL.replace(" FROM ", "\n  FROM\n  ")
+        assert observe(monitor, plan, sql=reformatted, q_error=10.0).task is None
+
+    def test_steered_query_is_not_enqueued_for_misestimation(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        observation = observe(monitor, plan, q_error=10.0, matched=True, steered=True)
+        assert observation.task is None
+
+    def test_forget_allows_re_enqueue(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0)
+        assert observe(monitor, plan, q_error=10.0).task is not None
+        monitor.forget(SQL)
+        assert observe(monitor, plan, q_error=10.0).task is not None
+
+
+class TestRegressionTrigger:
+    def test_first_execution_establishes_history(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=100.0, regression_threshold=1.5)
+        assert observe(monitor, plan, elapsed_ms=100.0).task is None
+        assert monitor.best_elapsed_ms(SQL) == 100.0
+
+    def test_regressed_repeat_is_enqueued(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=100.0, regression_threshold=1.5)
+        observe(monitor, plan, elapsed_ms=100.0)
+        observation = observe(monitor, plan, elapsed_ms=200.0, matched=True, steered=True)
+        assert observation.regressed
+        assert observation.task is not None
+        assert observation.task.reason == "regressed"
+
+    def test_faster_repeat_is_not_regressed(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=100.0, regression_threshold=1.5)
+        observe(monitor, plan, elapsed_ms=100.0)
+        observation = observe(monitor, plan, elapsed_ms=90.0)
+        assert not observation.regressed
+        assert observation.task is None
+        assert monitor.best_elapsed_ms(SQL) == 90.0
+
+    def test_regression_dedups_with_misestimation(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=4.0, regression_threshold=1.5)
+        assert observe(monitor, plan, q_error=10.0, elapsed_ms=100.0).task is not None
+        observation = observe(monitor, plan, q_error=10.0, elapsed_ms=500.0)
+        assert observation.regressed
+        assert observation.task is None, "one statement is enqueued at most once"
+
+    def test_history_is_bounded(self, plan):
+        monitor = FeedbackMonitor(q_error_threshold=100.0, max_tracked_statements=4)
+        for position in range(10):
+            observe(monitor, plan, sql=f"SELECT {position} FROM sales", elapsed_ms=10.0)
+        assert monitor.best_elapsed_ms("SELECT 9 FROM sales") == 10.0
+        assert monitor.best_elapsed_ms("SELECT 0 FROM sales") is None
+
+
+class TestMonitorValidation:
+    def test_thresholds_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            FeedbackMonitor(q_error_threshold=0.5)
+        with pytest.raises(ValueError):
+            FeedbackMonitor(regression_threshold=0.9)
+
+
+class TestServiceMetrics:
+    def test_counters_and_snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.increment("completed")
+        metrics.increment("completed", 2)
+        assert metrics.count("completed") == 3
+        snapshot = metrics.snapshot()
+        assert snapshot["completed"] == 3
+        assert snapshot["latency_samples"] == 0
+
+    def test_latency_percentiles(self):
+        metrics = ServiceMetrics()
+        for value in range(1, 101):
+            metrics.record_latency(float(value))
+        assert metrics.latency_percentile(50) == pytest.approx(50.0)
+        assert metrics.latency_percentile(95) == pytest.approx(95.0)
+        assert metrics.latency_percentile(100) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            metrics.latency_percentile(0)
+
+    def test_reservoir_stays_bounded(self):
+        metrics = ServiceMetrics()
+        for value in range(3 * metrics.MAX_LATENCY_SAMPLES):
+            metrics.record_latency(float(value))
+        assert metrics.sample_count < metrics.MAX_LATENCY_SAMPLES
+        # The surviving sample still spans the stream (not just its head).
+        assert metrics.latency_percentile(95) > 2 * metrics.MAX_LATENCY_SAMPLES

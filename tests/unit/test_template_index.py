@@ -219,3 +219,153 @@ class TestTemplateIndexStructure:
             kb.match_stats["candidates_evaluated"] + kb.match_stats["templates_skipped"]
             == len(kb)
         )
+
+
+def assert_matching_still_equivalent(kb, db):
+    """Indexed and brute-force matching agree for every probe segment."""
+    for sql in QUERIES:
+        for segment in segment_plan(db.explain(sql), max_joins=3):
+            indexed, brute = match_both_ways(kb, db, segment)
+            assert_equivalent(indexed, brute)
+
+
+class TestIndexPersistenceFallback:
+    """``load`` falls back to the rebuild scan on any index-cache problem."""
+
+    @pytest.fixture()
+    def saved_kb(self, mini_db, tmp_path):
+        kb = randomized_knowledge_base(mini_db, plans_per_query=3)
+        kb.save(str(tmp_path))
+        return kb, tmp_path
+
+    def _load_and_check(self, saved_kb, mini_db, expect_cached):
+        kb, path = saved_kb
+        loaded = KnowledgeBase.load(str(path))
+        assert loaded.index_loaded_from_cache is expect_cached
+        assert len(loaded.index) == len(kb)
+        assert_matching_still_equivalent(loaded, mini_db)
+        return loaded
+
+    def test_intact_cache_is_used(self, saved_kb, mini_db):
+        self._load_and_check(saved_kb, mini_db, expect_cached=True)
+
+    def test_corrupt_json_falls_back(self, saved_kb, mini_db):
+        _, path = saved_kb
+        (path / "template_index.json").write_text("{not json", encoding="utf-8")
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+    def test_wrong_format_version_falls_back(self, saved_kb, mini_db):
+        import json
+
+        _, path = saved_kb
+        payload = json.loads((path / "template_index.json").read_text(encoding="utf-8"))
+        payload["version"] = 999
+        (path / "template_index.json").write_text(json.dumps(payload), encoding="utf-8")
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+    def test_missing_template_entry_falls_back(self, saved_kb, mini_db):
+        import json
+
+        _, path = saved_kb
+        payload = json.loads((path / "template_index.json").read_text(encoding="utf-8"))
+        dropped = sorted(payload["templates"])[0]
+        del payload["templates"][dropped]
+        (path / "template_index.json").write_text(json.dumps(payload), encoding="utf-8")
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+    def test_stale_triple_count_falls_back(self, saved_kb, mini_db):
+        import json
+
+        _, path = saved_kb
+        payload = json.loads((path / "template_index.json").read_text(encoding="utf-8"))
+        first = sorted(payload["templates"])[0]
+        payload["templates"][first]["triple_count"] += 1
+        (path / "template_index.json").write_text(json.dumps(payload), encoding="utf-8")
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+    def test_unknown_subjects_fall_back(self, saved_kb, mini_db):
+        import json
+
+        _, path = saved_kb
+        payload = json.loads((path / "template_index.json").read_text(encoding="utf-8"))
+        first = sorted(payload["templates"])[0]
+        payload["templates"][first]["subjects"] = ["http://nowhere/unknown"]
+        (path / "template_index.json").write_text(json.dumps(payload), encoding="utf-8")
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+    def test_missing_index_file_falls_back(self, saved_kb, mini_db):
+        _, path = saved_kb
+        (path / "template_index.json").unlink()
+        self._load_and_check(saved_kb, mini_db, expect_cached=False)
+
+
+class TestIncrementalMaintenance:
+    """Online add/evict keeps the index identical to a from-scratch rebuild."""
+
+    def _probe_profiles(self, db):
+        from repro.core.knowledge_base import SegmentProfile
+
+        profiles = []
+        for sql in QUERIES:
+            for segment in segment_plan(db.explain(sql), max_joins=3):
+                profiles.append(
+                    SegmentProfile.from_segment_nodes(list(segment.walk()))
+                )
+        return profiles
+
+    def assert_index_equals_rebuild(self, kb, db):
+        incremental = {
+            template_id: kb.index.profile(template_id) for template_id in kb.templates
+        }
+        probes = self._probe_profiles(db)
+        incremental_candidates = [sorted(kb.index.candidates(p)) for p in probes]
+        kb.rebuild_index()
+        assert set(incremental) == set(
+            template_id for template_id in kb.templates if template_id in kb.index
+        )
+        for template_id, before in incremental.items():
+            after = kb.index.profile(template_id)
+            assert after.join_count == before.join_count
+            assert after.scan_count == before.scan_count
+            assert after.pop_type_counts == before.pop_type_counts
+            assert {
+                pop_type: sorted(ranges)
+                for pop_type, ranges in after.bounds_by_type.items()
+            } == {
+                pop_type: sorted(ranges)
+                for pop_type, ranges in before.bounds_by_type.items()
+            }
+        assert [sorted(kb.index.candidates(p)) for p in probes] == incremental_candidates
+
+    def test_incremental_adds_equal_rebuild(self, mini_db):
+        kb = randomized_knowledge_base(mini_db, plans_per_query=3)
+        self.assert_index_equals_rebuild(kb, mini_db)
+
+    def test_incremental_evictions_equal_rebuild(self, mini_db):
+        kb = randomized_knowledge_base(mini_db, plans_per_query=3)
+        for victim in sorted(kb.templates)[::3]:
+            kb.evict_template(victim)
+        self.assert_index_equals_rebuild(kb, mini_db)
+        assert_matching_still_equivalent(kb, mini_db)
+
+    def test_interleaved_add_evict_equal_rebuild(self, mini_db):
+        kb = KnowledgeBase()
+        roots = [join_tree_root(mini_db.explain(sql)) for sql in QUERIES]
+        added = []
+        for round_no in range(3):
+            for position, root in enumerate(roots):
+                template = add_template_from_root(
+                    kb, mini_db, root, name=f"r{round_no}p{position}"
+                )
+                added.append(template.template_id)
+            if added:
+                kb.evict_template(added.pop(0))
+        self.assert_index_equals_rebuild(kb, mini_db)
+        assert_matching_still_equivalent(kb, mini_db)
+
+    def test_remove_unknown_id_is_noop(self):
+        from repro.core.knowledge_base import TemplateIndex
+
+        index = TemplateIndex()
+        assert index.remove("ghost") is False
+        assert len(index) == 0
