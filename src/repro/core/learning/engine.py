@@ -68,6 +68,14 @@ class LearningConfig:
     validate_on_parent: bool = True
     #: Minimum whole-query improvement required by the parent validation.
     parent_improvement_threshold: float = 0.05
+    #: Execution-memo scope for plan evaluation: ``"workload"`` (default)
+    #: shares the database's epoch-invalidated memo across every
+    #: ``learn_query`` of a sweep (sub-queries repeat *across* workload
+    #: queries, not just within one), ``"query"`` uses a fresh memo per
+    #: ``learn_query`` (the pre-workload-memo behaviour), ``"off"`` disables
+    #: memoization.  All three produce bit-identical learning outcomes; the
+    #: scopes only trade memory for speed.
+    memo_scope: str = "workload"
 
 
 @dataclass
@@ -193,12 +201,13 @@ class LearningEngine:
         analyzed = 0
         templates: List[str] = []
         improvements: List[float] = []
-        # One memo per workload query: the optimizer's plan, every random
-        # plan variant and the parent-validation runs all re-scan the same
-        # tables, so structurally identical scan subtrees execute once and
-        # replay their cold charges into each plan (data is immutable for
-        # the duration of the analysis).
-        memo = ExecutionMemo()
+        # The optimizer's plan, every random plan variant and the
+        # parent-validation runs all re-scan (and re-join) the same tables,
+        # so structurally identical subtrees execute once and replay their
+        # cold charges into each plan.  The default scope is the database's
+        # workload memo: sub-plans repeat across the queries of a sweep, and
+        # the epoch check guarantees entries never survive a data change.
+        memo = self._memo_for_scope()
         parent_context: Optional[_ParentContext] = None
         if self.config.validate_on_parent:
             parent_qgm = self.database.optimizer.optimize(bound, query_name=query_name)
@@ -232,6 +241,18 @@ class LearningEngine:
             analyzed_subquery_count=analyzed,
             templates_learned=templates,
             improvements=improvements,
+        )
+
+    def _memo_for_scope(self) -> Optional[ExecutionMemo]:
+        scope = self.config.memo_scope
+        if scope == "workload":
+            return self.database.workload_memo()
+        if scope == "query":
+            return ExecutionMemo()
+        if scope == "off":
+            return None
+        raise LearningError(
+            f"unknown memo_scope {scope!r}; expected 'workload', 'query' or 'off'"
         )
 
     # ------------------------------------------------------------------

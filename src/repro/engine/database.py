@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.cache import LruCache
@@ -37,6 +38,8 @@ class Database:
 
     #: Number of optimized plans kept by the explain cache.
     EXPLAIN_CACHE_SIZE = 256
+    #: Entry cap for the shared workload-scoped execution memo (per cache).
+    WORKLOAD_MEMO_MAX_ENTRIES = 4096
 
     def __init__(self, config: Optional[DbConfig] = None, name: str = "GALODB"):
         self.name = name
@@ -54,6 +57,14 @@ class Database:
         # re-optimization replans recurring statements constantly.  Keyed by
         # (sql, guideline xml); invalidated whenever DDL or statistics change.
         self._explain_cache = LruCache(self.EXPLAIN_CACHE_SIZE)
+        # Data epoch: bumped by every DDL / data-load / RUNSTATS event (the
+        # same events that clear the plan cache).  The workload-scoped
+        # execution memo is stamped with it and lazily reset when it moves.
+        self._data_epoch = 0
+        self._workload_memo = ExecutionMemo(
+            epoch=0, max_entries=self.WORKLOAD_MEMO_MAX_ENTRIES
+        )
+        self._memo_lock = threading.Lock()
 
     # -- DDL / DML -----------------------------------------------------------
 
@@ -76,8 +87,38 @@ class Database:
         return stats
 
     def invalidate_plan_cache(self) -> None:
-        """Drop cached plans (called on any DDL / data / statistics change)."""
+        """Drop cached plans (called on any DDL / data / statistics change).
+
+        Also advances the data epoch, which invalidates the workload-scoped
+        execution memo: cached subtree results are only ever valid against the
+        exact table data they were computed from.
+        """
         self._explain_cache.clear()
+        self._data_epoch += 1
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotonic counter of DDL / data / statistics changes."""
+        return self._data_epoch
+
+    def workload_memo(self) -> ExecutionMemo:
+        """The shared workload-scoped execution memo, epoch-validated.
+
+        One memo instance serves every plan evaluation against this database
+        -- all ``learn_query`` calls of a workload sweep, the online tier's
+        steered-vs-baseline measurements, and the serving layer -- so repeated
+        sub-plans are executed once per data epoch, not once per query.  The
+        memo is reset (under a lock, at most once per epoch change) whenever
+        DDL, data loads or RUNSTATS have bumped :attr:`data_epoch`; the
+        cold-charge accounting rule keeps results bit-identical to memo-less
+        execution, so sharing is always safe.
+        """
+        memo = self._workload_memo
+        if memo.epoch != self._data_epoch:
+            with self._memo_lock:
+                if memo.epoch != self._data_epoch:
+                    memo.reset(epoch=self._data_epoch)
+        return memo
 
     @property
     def explain_cache_hits(self) -> int:
@@ -165,6 +206,7 @@ class Database:
         sql: str,
         guidelines: Union[GuidelineDocument, str, None] = None,
         query_name: str = "",
+        memo: Optional[ExecutionMemo] = None,
     ) -> "Tuple[Qgm, ExecutionResult]":
         """Optimize and execute, returning the executed plan alongside the result.
 
@@ -173,7 +215,7 @@ class Database:
         live on the :class:`ExecutionResult`, and q-errors pair the two.
         """
         qgm = self.explain(sql, guidelines=guidelines, query_name=query_name)
-        return qgm, self.execute_plan(qgm)
+        return qgm, self.execute_plan(qgm, memo=memo)
 
     def benchmark_plan(self, qgm: Qgm, runs: int = 5) -> BatchMeasurement:
         """Benchmark a plan the way the paper uses ``db2batch``."""

@@ -37,7 +37,22 @@ class BufferPool:
 
     def access_sequential(self, table: str, first_page: int, page_count: int) -> int:
         """Touch a run of consecutive pages; returns the number of misses."""
-        return self.access_many(table, range(first_page, first_page + max(0, page_count)))
+        count = max(0, page_count)
+        if not self._pages:
+            # Fast path: a sequential run into an empty pool is all misses
+            # and its final LRU order is just the run itself (clipped to the
+            # last ``capacity`` pages).  This is the first access of nearly
+            # every plan -- and of every memo-trace replay into a cold pool
+            # -- so skipping the per-page LRU bookkeeping is a real win.
+            first_resident = first_page + max(0, count - self.capacity)
+            self._pages = OrderedDict(
+                ((table, page), None)
+                for page in range(first_resident, first_page + count)
+            )
+            self.logical_reads += count
+            self.physical_reads += count
+            return count
+        return self.access_many(table, range(first_page, first_page + count))
 
     def access_many(self, table: str, pages) -> int:
         """Touch ``pages`` in order; returns the number of misses.

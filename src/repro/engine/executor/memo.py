@@ -4,8 +4,24 @@ GALO's learning tier executes the optimizer's plan plus every random/guided
 plan variant of one sub-query; those candidate plans re-scan and re-filter the
 same tables over and over.  An :class:`ExecutionMemo` caches the *data*
 outcome of structurally identical scan / FILTER / SORT subtrees -- their
-qualifying position vectors over the table's backing columns -- so each
-subtree is evaluated once per ``learn_query`` instead of once per plan.
+qualifying position vectors over the table's backing columns -- and of whole
+join subtrees (materialized output batches whose page-access traces are
+recorded compositionally from their children's), so each subtree is evaluated
+once per memo scope instead of once per plan.
+
+Memo scope
+----------
+The memo is *workload-scoped* by default: :meth:`repro.engine.database.
+Database.workload_memo` hands out one shared instance used by every
+``learn_query`` call of a workload sweep, by the online tier's plan
+measurement, and by the serving layer -- sub-queries repeat across workload
+queries, not just within one.  The instance is stamped with the database's
+*data epoch* and lazily swapped for a fresh one whenever DDL, data loads or
+RUNSTATS bump the epoch (the same events that invalidate the plan cache), so
+entries can never outlive the table data they were computed from.  Entries
+are immutable once stored and the dicts are only ever replaced wholesale on
+reset, which makes concurrent readers (parallel re-optimization workers,
+serving threads) safe without a lock.
 
 Cold-charge accounting rule
 ---------------------------
@@ -46,12 +62,14 @@ Trace = Tuple[Any, ...]
 
 @dataclass
 class MemoEntry:
-    """Cached outcome of one scan/FILTER/SORT subtree execution."""
+    """Cached outcome of one scan/FILTER/SORT/join subtree execution."""
 
     #: ``"<alias>.<column>"`` -> backing value array (shared, read-only).
     columns: Dict[str, Sequence[Any]]
-    #: Qualifying positions into the backing arrays, in output order.
-    positions: Sequence[int]
+    #: Qualifying positions into the backing arrays, in output order; ``None``
+    #: for a materialized batch (join output), whose rows are ``length`` and
+    #: whose arrays are themselves aligned.
+    positions: Optional[Sequence[int]]
     #: Pool-independent metric increments, as (counter name, amount) pairs.
     #: ``sort_heap_high_water_mark`` is merged with ``max`` instead of ``+``.
     deltas: Tuple[Tuple[str, int], ...]
@@ -60,6 +78,8 @@ class MemoEntry:
     #: ``actual_cardinality`` for every subtree node below the root, in
     #: pre-order, so a hit can annotate operators it did not execute.
     child_cardinalities: Tuple[int, ...] = ()
+    #: Row count of a materialized batch (used only when ``positions`` is None).
+    length: int = 0
 
     def replay(self, metrics: RuntimeMetrics, pool: BufferPool) -> None:
         """Charge this subtree to ``metrics`` / ``pool`` as if executed cold."""
@@ -79,19 +99,77 @@ class MemoEntry:
 
 @dataclass
 class ExecutionMemo:
-    """Per-learning-scope cache of subtree results + auxiliary join structures.
+    """Subtree-result cache + auxiliary join structures for one memo scope.
 
-    Valid only while the underlying table data is unchanged; create one per
-    ``learn_query`` (or per batched plan-evaluation sweep) and discard it.
+    Valid only while the underlying table data is unchanged.  The workload
+    scope (obtained from :meth:`repro.engine.database.Database.workload_memo`)
+    stamps ``epoch`` with the database's data epoch and resets the memo when
+    the epoch moves; short-lived callers may still create a private instance
+    per plan-evaluation sweep and discard it.
+
+    ``max_entries`` bounds both caches (FIFO eviction): a long-lived serving
+    process must not grow the memo without bound.  Join entries are
+    self-contained (child traces are copied in, not referenced), so evicting
+    a child never invalidates a parent entry.
     """
 
     entries: Dict[Hashable, MemoEntry] = field(default_factory=dict)
     #: (kind, child subtree key, ...) -> cached hash table / sort order / ...
     aux: Dict[Hashable, Any] = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
-    aux_hits: int = 0
-    aux_misses: int = 0
+    #: Data epoch this memo's entries were computed at (None = unmanaged).
+    epoch: Optional[int] = None
+    #: Per-cache entry cap (None = unbounded); oldest entries evicted first.
+    max_entries: Optional[int] = None
+    #: Cumulative counters, held in one mutable mapping so :meth:`pinned`
+    #: handles and the shared memo report into the same place.
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {
+            "hits": 0,
+            "misses": 0,
+            "aux_hits": 0,
+            "aux_misses": 0,
+            "resets": 0,
+        }
+    )
+
+    @property
+    def hits(self) -> int:
+        return self.counters["hits"]
+
+    @property
+    def misses(self) -> int:
+        return self.counters["misses"]
+
+    @property
+    def aux_hits(self) -> int:
+        return self.counters["aux_hits"]
+
+    @property
+    def aux_misses(self) -> int:
+        return self.counters["aux_misses"]
+
+    @property
+    def resets(self) -> int:
+        return self.counters["resets"]
+
+    def pinned(self) -> "ExecutionMemo":
+        """A per-execution handle over this memo's *current* dicts.
+
+        The executor pins an epoch-managed memo once per ``execute`` call: if
+        a concurrent data change resets the shared memo mid-execution, the
+        in-flight run keeps reading and writing the snapshot it started with
+        (the orphaned dicts), so results computed from pre-change data can
+        never leak into the new epoch's cache.  Counters are shared, so
+        observability is unaffected.
+        """
+        view = ExecutionMemo(
+            entries=self.entries,
+            aux=self.aux,
+            epoch=self.epoch,
+            max_entries=self.max_entries,
+            counters=self.counters,
+        )
+        return view
 
     def lookup(self, key: Hashable) -> Optional[MemoEntry]:
         try:
@@ -99,16 +177,37 @@ class ExecutionMemo:
         except TypeError:  # unhashable predicate somewhere in the key
             entry = None
         if entry is None:
-            self.misses += 1
+            self.counters["misses"] += 1
         else:
-            self.hits += 1
+            self.counters["hits"] += 1
         return entry
 
-    def store(self, key: Hashable, entry: MemoEntry) -> None:
+    def _put_capped(self, target: Dict[Hashable, Any], key: Hashable, value: Any) -> None:
+        """Insert ``key`` into ``target``, evicting the oldest entry at the cap.
+
+        The cap is best-effort under concurrency: the dicts are shared across
+        threads without a lock (see the module docstring), so the oldest-key
+        probe can race a concurrent insert/pop -- ``RuntimeError`` ("dict
+        changed size during iteration") simply skips this eviction, and two
+        racing stores may briefly overshoot the cap by one.  Unhashable keys
+        (``TypeError``) are silently not cached, as in ``lookup``.
+        """
         try:
-            self.entries[key] = entry
+            if (
+                self.max_entries is not None
+                and len(target) >= self.max_entries
+                and key not in target
+            ):
+                try:
+                    target.pop(next(iter(target)), None)
+                except (StopIteration, RuntimeError):
+                    pass
+            target[key] = value
         except TypeError:
             pass
+
+    def store(self, key: Hashable, entry: MemoEntry) -> None:
+        self._put_capped(self.entries, key, entry)
 
     def peek(self, key: Hashable) -> Optional[MemoEntry]:
         """``lookup`` without touching the hit/miss counters."""
@@ -123,16 +222,27 @@ class ExecutionMemo:
         except TypeError:
             value = None
         if value is None:
-            self.aux_misses += 1
+            self.counters["aux_misses"] += 1
         else:
-            self.aux_hits += 1
+            self.counters["aux_hits"] += 1
         return value
 
     def aux_store(self, key: Hashable, value: Any) -> None:
-        try:
-            self.aux[key] = value
-        except TypeError:
-            pass
+        self._put_capped(self.aux, key, value)
+
+    def reset(self, epoch: Optional[int] = None) -> None:
+        """Drop every cached entry and restamp the memo at ``epoch``.
+
+        The dicts are *replaced*, not cleared: replacement is a single atomic
+        store, so a concurrent reader on another thread sees either the old
+        snapshot or the new empty one, never a half-cleared dict -- and an
+        execution pinned (:meth:`pinned`) to the old dicts keeps its
+        consistent snapshot, its late stores landing nowhere visible.
+        """
+        self.entries = {}
+        self.aux = {}
+        self.epoch = epoch
+        self.counters["resets"] += 1
 
     @property
     def stats(self) -> Dict[str, int]:
@@ -142,4 +252,5 @@ class ExecutionMemo:
             "aux_hits": self.aux_hits,
             "aux_misses": self.aux_misses,
             "entries": len(self.entries),
+            "resets": self.resets,
         }

@@ -142,6 +142,39 @@ def _merge_batches(
     return Batch(columns, None, len(outer_picks))
 
 
+class SubtreeKey:
+    """A memo key with its hash precomputed once.
+
+    Keys are deeply nested tuples (a join key embeds both children's keys);
+    hashing them from scratch on every memo dict operation is measurable on
+    the learning tier's hot path.  Child keys embedded in a parent tuple are
+    ``SubtreeKey`` objects themselves, so the parent's one-time hash is cheap
+    too.  Equality falls back to the underlying tuples (collision path only).
+    """
+
+    __slots__ = ("value", "hash_value")
+
+    def __init__(self, value: Tuple[Any, ...]):
+        self.value = value
+        self.hash_value = hash(value)  # TypeError -> key is not memoizable
+
+    def __hash__(self) -> int:
+        return self.hash_value
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, SubtreeKey) and self.value == other.value
+
+    def __getitem__(self, index: int) -> Any:
+        return self.value[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubtreeKey({self.value!r})"
+
+
+#: Sentinel distinguishing "never computed" from "computed as None".
+_KEY_UNSET = object()
+
+
 class VectorizedExecutor:
     """Executes QGM plans over column batches; charge-identical to ``Executor``."""
 
@@ -165,6 +198,12 @@ class VectorizedExecutor:
 
     def execute(self, qgm: Qgm, memo: Optional[ExecutionMemo] = None) -> ExecutionResult:
         """Execute ``qgm``; annotates every node's ``actual_cardinality``."""
+        if memo is not None and memo.epoch is not None:
+            # Epoch-managed (workload-scoped) memo: pin this execution to the
+            # memo's current dict snapshot so a concurrent data change --
+            # which resets the shared memo -- can neither corrupt this run's
+            # view nor receive stale entries stored by it afterwards.
+            memo = memo.pinned()
         metrics = RuntimeMetrics()
         pool = BufferPool(self.config.buffer_pool_pages)
         batch = self._execute_node(qgm.root, metrics, pool, memo)
@@ -201,8 +240,36 @@ class VectorizedExecutor:
 
     # -- memo plumbing -------------------------------------------------------
 
+    _JOIN_MEMO_TAGS = {
+        PopType.HSJOIN: "HJ",
+        PopType.MSJOIN: "MJ",
+        PopType.NLJOIN: "NJ",
+    }
+
     def _memo_key(self, node: PlanNode):
-        """Structural identity of a memoizable subtree (None = not memoizable)."""
+        """Structural identity of a memoizable subtree (None = not memoizable).
+
+        Cached on the node (plans are never structurally mutated after
+        planning): the key is consulted by every handler that touches the
+        node -- join build/sort caches, column gathers, entry stores -- and
+        recomputing the nested tuple each time is pure overhead.  The cached
+        object is a :class:`SubtreeKey`, so its hash is computed exactly once
+        as well.
+        """
+        cached = node.__dict__.get("_memo_subtree_key", _KEY_UNSET)
+        if cached is not _KEY_UNSET:
+            return cached
+        raw = self._raw_memo_key(node)
+        key = None
+        if raw is not None:
+            try:
+                key = SubtreeKey(raw)
+            except TypeError:  # unhashable predicate somewhere in the key
+                key = None
+        node.__dict__["_memo_subtree_key"] = key
+        return key
+
+    def _raw_memo_key(self, node: PlanNode):
         pop = node.pop_type
         if pop is PopType.TBSCAN:
             return ("TB", node.table, node.table_alias, node.predicates)
@@ -218,7 +285,117 @@ class VectorizedExecutor:
             child = self._memo_key(node.inputs[0])
             if child is not None:
                 return ("S", child, node.properties.get("sorted_on"))
+        tag = self._JOIN_MEMO_TAGS.get(pop)
+        if tag is not None and node.outer is not None and node.inner is not None:
+            outer = self._memo_key(node.outer)
+            if outer is None:
+                return None
+            inner_node = node.inner
+            if (
+                pop is PopType.NLJOIN
+                and inner_node.is_scan
+                and inner_node.properties.get("nljoin_lookup")
+                and inner_node.index_name
+                # Mirror the handler's dispatch exactly: without an equi-join
+                # key the inner executes as a plain scan, not as lookups.
+                and equi_join_keys(
+                    node, set(node.outer.aliases()), set(inner_node.aliases())
+                )
+            ):
+                # The index-lookup inner never executes as a standalone node;
+                # its identity (and the join's own page accesses) fold into
+                # the join entry itself.
+                inner = (
+                    "NLIX",
+                    inner_node.table,
+                    inner_node.table_alias,
+                    inner_node.index_name,
+                    inner_node.predicates,
+                )
+            else:
+                inner = self._memo_key(inner_node)
+                if inner is None:
+                    return None
+            return (
+                tag,
+                outer,
+                inner,
+                node.predicates,
+                node.join_predicates,
+                bool(node.properties.get("bloom_filter")),
+            )
         return None
+
+    @staticmethod
+    def _entry_batch(entry: MemoEntry) -> Batch:
+        """Rebuild the output batch a memo entry recorded."""
+        if entry.positions is None:
+            return Batch(entry.columns, None, entry.length)
+        return Batch(entry.columns, entry.positions)
+
+    def _join_memo_hit(
+        self,
+        key,
+        node: PlanNode,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+    ) -> Optional[Batch]:
+        """Replay a memoized join subtree (None = miss, execute cold)."""
+        if key is None:
+            return None
+        entry = memo.lookup(key)
+        if entry is None:
+            return None
+        entry.replay(metrics, pool)
+        self._annotate_subtree(node, entry)
+        return self._entry_batch(entry)
+
+    def _store_join_entry(
+        self,
+        memo: Optional[ExecutionMemo],
+        key,
+        node: PlanNode,
+        result: Batch,
+        own_deltas,
+        own_traces=(),
+    ) -> None:
+        """Compose and store a join subtree's entry from its children's.
+
+        A join entry is compositional: its deltas and page-access trace are
+        the outer child's, then the inner child's, then the join's own -- the
+        exact cold execution order -- so a hit replays the whole subtree's
+        charges through the consuming plan's own cold buffer pool.  Entries
+        are self-contained copies (no references to the child entries), so a
+        later eviction of a child never corrupts the join entry.
+        """
+        if memo is None or key is None:
+            return
+        outer_entry = memo.peek(key[1])
+        if outer_entry is None:
+            return
+        inner_key = key[2]
+        if inner_key[0] == "NLIX":
+            # Index-lookup inner: its work is already part of ``own_*``.
+            inner_deltas: Tuple = ()
+            inner_traces: Tuple = ()
+        else:
+            inner_entry = memo.peek(inner_key)
+            if inner_entry is None:
+                return
+            inner_deltas = inner_entry.deltas
+            inner_traces = inner_entry.traces
+        memo.store(
+            key,
+            MemoEntry(
+                columns=result.columns,
+                positions=result.sel,
+                length=result.length,
+                deltas=outer_entry.deltas + inner_deltas + tuple(own_deltas),
+                traces=outer_entry.traces + inner_traces + tuple(own_traces),
+                child_cardinalities=self._subtree_cardinalities(node),
+            ),
+        )
 
     @staticmethod
     def _annotate_subtree(node: PlanNode, entry: MemoEntry) -> None:
@@ -364,30 +541,44 @@ class VectorizedExecutor:
         memo: Optional[ExecutionMemo],
     ) -> Batch:
         assert node.outer is not None and node.inner is not None
+        key = self._memo_key(node) if memo is not None else None
+        hit = self._join_memo_hit(key, node, metrics, pool, memo)
+        if hit is not None:
+            return hit
         outer_batch = self._execute_node(node.outer, metrics, pool, memo)
         inner_batch = self._execute_node(node.inner, metrics, pool, memo)
         keys = equi_join_keys(node, set(node.outer.aliases()), set(node.inner.aliases()))
 
+        own_deltas: List[Tuple[str, int]] = [("hash_build_rows", inner_batch.length)]
         metrics.hash_build_rows += inner_batch.length
         inner_pages = inner_batch.length // max(1, self.config.page_size_rows)
         metrics.sort_heap_high_water_mark = max(
             metrics.sort_heap_high_water_mark, inner_pages
         )
+        own_deltas.append(("sort_heap_high_water_mark", inner_pages))
         if inner_pages > self.config.sort_heap_pages:
-            metrics.spill_pages += (inner_pages - self.config.sort_heap_pages) * 2
+            spilled = (inner_pages - self.config.sort_heap_pages) * 2
+            metrics.spill_pages += spilled
+            own_deltas.append(("spill_pages", spilled))
 
         if not keys:
             # Cross product.
-            metrics.cpu_operations += outer_batch.length * inner_batch.length
+            cross_cpu = outer_batch.length * inner_batch.length
+            metrics.cpu_operations += cross_cpu
+            own_deltas.append(("cpu_operations", cross_cpu))
             inner_range = range(inner_batch.length)
             outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
             inner_picks = list(inner_range) * outer_batch.length
-            return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+            result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+            self._store_join_entry(memo, key, node, result, own_deltas)
+            return result
 
         hash_table = self._hash_build(inner_batch, node.inner, keys, memo)
         bloom_on = bool(node.properties.get("bloom_filter"))
         outer_picks: List[int] = []
         inner_picks: List[int] = []
+        probed = 0
+        bloomed = 0
         get = hash_table.get
         if len(keys) == 1:
             outer_values = self._column_of(outer_batch, node.outer, keys[0][0].key, memo)
@@ -398,11 +589,11 @@ class VectorizedExecutor:
                 matches = get(value)
                 if matches is None:
                     if bloom_on:
-                        metrics.bloom_filtered_rows += 1
+                        bloomed += 1
                     else:
-                        metrics.hash_probe_rows += 1
+                        probed += 1
                     continue
-                metrics.hash_probe_rows += 1
+                probed += 1
                 for ip in matches:
                     outer_picks.append(op)
                     inner_picks.append(ip)
@@ -416,15 +607,21 @@ class VectorizedExecutor:
                 matches = get(value)
                 if matches is None:
                     if bloom_on:
-                        metrics.bloom_filtered_rows += 1
+                        bloomed += 1
                     else:
-                        metrics.hash_probe_rows += 1
+                        probed += 1
                     continue
-                metrics.hash_probe_rows += 1
+                probed += 1
                 for ip in matches:
                     outer_picks.append(op)
                     inner_picks.append(ip)
-        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        metrics.hash_probe_rows += probed
+        metrics.bloom_filtered_rows += bloomed
+        own_deltas.append(("hash_probe_rows", probed))
+        own_deltas.append(("bloom_filtered_rows", bloomed))
+        result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        self._store_join_entry(memo, key, node, result, own_deltas)
+        return result
 
     def _hash_build(
         self,
@@ -524,6 +721,10 @@ class VectorizedExecutor:
         memo: Optional[ExecutionMemo],
     ) -> Batch:
         assert node.outer is not None and node.inner is not None
+        key = self._memo_key(node) if memo is not None else None
+        hit = self._join_memo_hit(key, node, metrics, pool, memo)
+        if hit is not None:
+            return hit
         outer_batch = self._execute_node(node.outer, metrics, pool, memo)
         inner_batch = self._execute_node(node.inner, metrics, pool, memo)
         keys = equi_join_keys(node, set(node.outer.aliases()), set(node.inner.aliases()))
@@ -596,7 +797,9 @@ class VectorizedExecutor:
                 block_outer += 1
                 block_inner += 1
         metrics.cpu_operations += cpu
-        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        self._store_join_entry(memo, key, node, result, [("cpu_operations", cpu)])
+        return result
 
     def _execute_nested_loop_join(
         self,
@@ -606,6 +809,10 @@ class VectorizedExecutor:
         memo: Optional[ExecutionMemo],
     ) -> Batch:
         assert node.outer is not None and node.inner is not None
+        key = self._memo_key(node) if memo is not None else None
+        hit = self._join_memo_hit(key, node, metrics, pool, memo)
+        if hit is not None:
+            return hit
         outer_batch = self._execute_node(node.outer, metrics, pool, memo)
         inner_node = node.inner
         keys = equi_join_keys(node, set(node.outer.aliases()), set(inner_node.aliases()))
@@ -617,12 +824,13 @@ class VectorizedExecutor:
             and keys
         ):
             return self._nljoin_index_lookup(
-                node, outer_batch, inner_node, keys, metrics, pool, memo
+                node, outer_batch, inner_node, keys, metrics, pool, memo, key
             )
 
         inner_batch = self._execute_node(inner_node, metrics, pool, memo)
         # Re-scanning the inner for every outer row: charge the CPU for it.
-        metrics.cpu_operations += outer_batch.length * max(1, inner_batch.length)
+        rescan_cpu = outer_batch.length * max(1, inner_batch.length)
+        metrics.cpu_operations += rescan_cpu
         outer_picks: List[int] = []
         inner_picks: List[int] = []
         if keys:
@@ -649,7 +857,9 @@ class VectorizedExecutor:
             inner_range = range(inner_batch.length)
             outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
             inner_picks = list(inner_range) * outer_batch.length
-        return _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+        self._store_join_entry(memo, key, node, result, [("cpu_operations", rescan_cpu)])
+        return result
 
     def _nljoin_key_map(
         self,
@@ -690,6 +900,7 @@ class VectorizedExecutor:
         metrics: RuntimeMetrics,
         pool: BufferPool,
         memo: Optional[ExecutionMemo] = None,
+        memo_key=None,
     ) -> Batch:
         """Inner side evaluated as one index lookup per outer row."""
         data = self._table_for(inner_node)
@@ -715,30 +926,61 @@ class VectorizedExecutor:
                 )
             )
 
+        # Per-distinct-value cache of (row ids, their pages, predicate
+        # survivors): all three depend only on the inner scan's identity and
+        # the probe value, never on the probing plan.  Join keys repeat both
+        # within one execution (duplicate outer values) and across the plans
+        # of a learning sweep, so the cache lives in the memo's aux store when
+        # one is active and falls back to call-local otherwise.
+        value_cache: Dict[Any, Tuple] = {}
+        if memo is not None:
+            cache_key = (
+                "nlixv",
+                table,
+                inner_node.table_alias,
+                inner_node.index_name,
+                predicates,
+                inner_key.column,
+            )
+            cached_values = memo.aux_lookup(cache_key)
+            if cached_values is None:
+                memo.aux_store(cache_key, value_cache)
+            else:
+                value_cache = cached_values
+
         inner_matched = 0
+        lookups = 0
+        processed = 0
+        trace_pages: List[int] = []
         outer_picks: List[int] = []
         inner_row_ids: List[int] = []
-        access_many = pool.access_many
         for op in range(outer_batch.length):
             value = outer_values[op]
             if value is None:
                 continue
-            metrics.index_lookups += 1
-            if lookup_on_index:
-                row_ids = index_data.lookup(value)
-            else:
-                row_ids = [
-                    row_id
-                    for row_id in range(data.row_count)
-                    if match_column[row_id] == value
-                ]
-            if not row_ids:
+            lookups += 1
+            cached = value_cache.get(value)
+            if cached is None:
+                if lookup_on_index:
+                    row_ids = index_data.lookup(value)
+                else:
+                    row_ids = [
+                        row_id
+                        for row_id in range(data.row_count)
+                        if match_column[row_id] == value
+                    ]
+                if row_ids:
+                    pages = [row_id // rows_per_page for row_id in row_ids]
+                    survivors = filter_positions(predicates, inner_columns, row_ids)
+                else:
+                    pages = survivors = ()
+                cached = (len(row_ids), pages, survivors)
+                value_cache[value] = cached
+            row_count, pages, survivors = cached
+            if not row_count:
                 continue
-            metrics.rows_processed += len(row_ids)
-            metrics.random_pages += access_many(
-                table, [row_id // rows_per_page for row_id in row_ids]
-            )
-            survivors = filter_positions(predicates, inner_columns, row_ids)
+            processed += row_count
+            trace_pages.extend(pages)
             for row_id in survivors:
                 if all(
                     outer_access(op, row_id) == inner_access(op, row_id)
@@ -747,12 +989,31 @@ class VectorizedExecutor:
                     inner_matched += 1
                     outer_picks.append(op)
                     inner_row_ids.append(row_id)
+        # One batched access reproduces the per-row access sequence exactly
+        # (the loop touches nothing else in the pool between rows).
+        if trace_pages:
+            metrics.random_pages += pool.access_many(table, trace_pages)
+        metrics.index_lookups += lookups
+        metrics.rows_processed += processed
         inner_node.actual_cardinality = inner_matched
 
         columns = _gather_columns(outer_batch, outer_picks)
         for key_name, values in inner_columns.items():
             columns[key_name] = [values[row_id] for row_id in inner_row_ids]
-        return Batch(columns, None, len(outer_picks))
+        result = Batch(columns, None, len(outer_picks))
+        # The per-outer-row page accesses replay as one "rand" run: the
+        # concatenated page list drives the consuming plan's LRU through the
+        # exact same sequence the loop above produced.
+        own_traces = (("rand", table, trace_pages),) if trace_pages else ()
+        self._store_join_entry(
+            memo,
+            memo_key,
+            node,
+            result,
+            [("index_lookups", lookups), ("rows_processed", processed)],
+            own_traces,
+        )
+        return result
 
     @staticmethod
     def _index_lookup_accessor(

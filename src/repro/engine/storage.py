@@ -86,7 +86,15 @@ class TableData:
     # -- loading -----------------------------------------------------------
 
     def insert_rows(self, rows: Iterable[Dict[str, Any]]) -> int:
-        """Append ``rows`` (dicts keyed by column name); returns rows added."""
+        """Append ``rows`` (dicts keyed by column name); returns rows added.
+
+        Indexes are maintained incrementally: only the new rows' (value ->
+        row id) pairs are appended, so a bulk load of N batches stays O(N
+        rows) instead of the O(N^2) a per-batch full rebuild costs.  New row
+        ids are strictly larger than every existing one, so appending keeps
+        each entry's row-id list sorted.
+        """
+        first_new_row = self._row_count
         added = 0
         for row in rows:
             for column in self.schema.columns:
@@ -95,12 +103,17 @@ class TableData:
             self._row_count += 1
             added += 1
         if added:
-            self._rebuild_indexes()
+            for index_data in self._indexes.values():
+                self._append_to_index(index_data, first_new_row)
         return added
 
-    def _rebuild_indexes(self) -> None:
-        for index_data in self._indexes.values():
-            self._fill_index(index_data)
+    def _append_to_index(self, index_data: IndexData, first_new_row: int) -> None:
+        """Index the rows from ``first_new_row`` on (cached key order drops)."""
+        values = self._columns[index_data.definition.column]
+        entries = index_data.entries
+        for row_id in range(first_new_row, self._row_count):
+            entries.setdefault(values[row_id], []).append(row_id)
+        index_data.invalidate_sorted_keys()
 
     def _fill_index(self, index_data: IndexData) -> None:
         index_data.entries = {}

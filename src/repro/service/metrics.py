@@ -7,7 +7,7 @@ event loop all report into one :class:`ServiceMetrics` instance.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class ServiceMetrics:
@@ -35,6 +35,11 @@ class ServiceMetrics:
         self._latencies_ms: List[float] = []
         self._latency_stride = 1
         self._latency_skip = 0
+        # Exact running extremes, tracked outside the reservoir: both the
+        # stride (skipped samples) and the halving (dropped samples) can lose
+        # the true tail, so min/max must never depend on reservoir contents.
+        self._latency_min_ms: Optional[float] = None
+        self._latency_max_ms: Optional[float] = None
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -46,6 +51,10 @@ class ServiceMetrics:
 
     def record_latency(self, wall_ms: float) -> None:
         with self._lock:
+            if self._latency_min_ms is None or wall_ms < self._latency_min_ms:
+                self._latency_min_ms = wall_ms
+            if self._latency_max_ms is None or wall_ms > self._latency_max_ms:
+                self._latency_max_ms = wall_ms
             self._latency_skip += 1
             if self._latency_skip < self._latency_stride:
                 return
@@ -78,14 +87,36 @@ class ServiceMetrics:
         with self._lock:
             return len(self._latencies_ms)
 
+    @property
+    def latency_min_ms(self) -> Optional[float]:
+        """Exact minimum recorded wall latency (None before any sample)."""
+        with self._lock:
+            return self._latency_min_ms
+
+    @property
+    def latency_max_ms(self) -> Optional[float]:
+        """Exact maximum recorded wall latency (None before any sample)."""
+        with self._lock:
+            return self._latency_max_ms
+
     def snapshot(self) -> Dict[str, float]:
-        """A point-in-time copy of every counter plus latency summary stats."""
+        """A point-in-time copy of every counter plus latency summary stats.
+
+        Percentiles come from the (downsampled) reservoir; ``latency_min_ms``
+        and ``latency_max_ms`` are the exact running extremes -- the reservoir
+        may have dropped the true tail sample, the running trackers cannot.
+        """
         with self._lock:
             out: Dict[str, float] = dict(self._counters)
             samples = sorted(self._latencies_ms)
+            minimum = self._latency_min_ms
+            maximum = self._latency_max_ms
         out["latency_samples"] = len(samples)
         if samples:
             out["latency_p50_ms"] = self._nearest_rank(samples, 50)
             out["latency_p95_ms"] = self._nearest_rank(samples, 95)
-            out["latency_max_ms"] = samples[-1]
+        if minimum is not None:
+            out["latency_min_ms"] = minimum
+        if maximum is not None:
+            out["latency_max_ms"] = maximum
         return out

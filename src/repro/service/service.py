@@ -98,6 +98,10 @@ class GaloService:
         self._learner_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pending = 0
+        #: Set whenever no requests are in flight; the learner's idle-first
+        #: defer waits on this instead of polling, waking on the exact
+        #: pending-count transition to zero.
+        self._idle_event: Optional[asyncio.Event] = None
         self._started = False
         self._stopping = False
         #: template id -> the statement it was learned from (learner thread
@@ -123,6 +127,8 @@ class GaloService:
             max_workers=1, thread_name_prefix="galo-learn"
         )
         self._learning_queue = asyncio.Queue(maxsize=self.config.learning_queue_limit)
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
         if self.config.learning_enabled:
             self._learner_task = asyncio.create_task(self._drain_learning_queue())
         self._stopping = False
@@ -152,6 +158,7 @@ class GaloService:
         self._serve_pool = None
         self._learn_pool = None
         self._learning_queue = None
+        self._idle_event = None
         self._started = False
 
     async def __aenter__(self) -> "GaloService":
@@ -192,6 +199,8 @@ class GaloService:
                 error="admission control: too many pending requests",
             )
         self._pending += 1
+        if self._idle_event is not None:
+            self._idle_event.clear()
         assert self._loop is not None and self._serve_pool is not None
         future = self._loop.run_in_executor(
             self._serve_pool, self._serve_sync, sql, query_name
@@ -208,6 +217,8 @@ class GaloService:
     def _finish_serve(self, future: "asyncio.Future") -> None:
         """Done-callback (event-loop thread) for every serve execution."""
         self._pending -= 1
+        if self._pending == 0 and self._idle_event is not None:
+            self._idle_event.set()
         try:
             _, learning_task = future.result()
         except Exception:  # pragma: no cover - _serve_sync catches internally
@@ -244,8 +255,14 @@ class GaloService:
             for done in asyncio.as_completed(tasks):
                 yield await done
         finally:
+            # Cancel leftovers AND await them: cancel() alone leaves the
+            # tasks pending, and if the consumer broke out of the stream the
+            # un-retrieved tasks would be destroyed at loop close ("Task was
+            # destroyed but it is pending").  gather(return_exceptions=True)
+            # retrieves every cancellation/exception without raising.
             for task in tasks:
                 task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
 
     async def drain(self) -> None:
         """Wait until every queued background-learning task has completed."""
@@ -261,15 +278,23 @@ class GaloService:
         started = time.perf_counter()
         database = self.galo.database
         try:
+            # Serving executes each plan exactly once, through the vectorized
+            # engine and the workload-scoped memo: recurring statements (the
+            # normal case for served traffic) replay their subtrees' cold
+            # charges instead of recomputing them, and the memo's epoch check
+            # drops entries the moment the data changes.
+            memo = self.galo.matching_engine.execution_memo()
             if self.config.steering_enabled and len(self.galo.knowledge_base):
                 decision = self.galo.matching_engine.steer(sql, query_name=query_name)
                 qgm = decision.qgm
                 steered = decision.steered
                 matched_ids = decision.matched_template_ids
                 match_time_ms = decision.match_time_ms
-                result = database.execute_plan(qgm)
+                result = database.execute_plan(qgm, memo=memo)
             else:
-                qgm, result = database.execute_sql_with_plan(sql, query_name=query_name)
+                qgm, result = database.execute_sql_with_plan(
+                    sql, query_name=query_name, memo=memo
+                )
                 steered = False
                 matched_ids = []
                 match_time_ms = 0.0
@@ -338,6 +363,28 @@ class GaloService:
             # Dropped, not deferred: allow the statement to re-trigger later.
             self.feedback.forget(task.sql)
 
+    async def _wait_for_idle(self, timeout_seconds: float) -> bool:
+        """Wait until no requests are in flight, bounded by *loop time*.
+
+        Event-driven, not polled: ``_finish_serve`` sets the idle event on the
+        exact pending-count transition to zero, so the learner wakes the
+        moment the service drains instead of on the next poll tick.  The
+        bound is measured on the event loop's clock -- a busy loop cannot
+        stretch the wait the way the old per-iteration ``waited += 0.01``
+        accounting did.  Returns True when the service is idle on exit.
+        """
+        assert self._loop is not None and self._idle_event is not None
+        deadline = self._loop.time() + max(0.0, timeout_seconds)
+        while self._pending > 0:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(self._idle_event.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return self._pending == 0
+        return True
+
     async def _drain_learning_queue(self) -> None:
         """Background task: run queued learning work on the learner thread."""
         assert self._learning_queue is not None and self._loop is not None
@@ -347,13 +394,7 @@ class GaloService:
             # the serving workers, so prefer a window with no requests in
             # flight (the paper ran its learning tier during non-peak hours).
             # The wait is bounded: sustained traffic cannot starve learning.
-            waited = 0.0
-            while (
-                self._pending > 0
-                and waited < self.config.learning_idle_wait_seconds
-            ):
-                await asyncio.sleep(0.01)
-                waited += 0.01
+            await self._wait_for_idle(self.config.learning_idle_wait_seconds)
             overlapped_at_start = self._pending > 0
             started = time.perf_counter()
             try:
@@ -387,9 +428,10 @@ class GaloService:
                     elapsed * (1.0 - duty) / duty,
                     self.config.learning_idle_wait_seconds,
                 )
-                deadline = self._loop.time() + pause
-                while self._pending > 0 and self._loop.time() < deadline:
-                    await asyncio.sleep(0.05)
+                # Same event-driven wait as the idle-first defer: the pause
+                # is cut short the instant the service goes idle (an idle
+                # window has nothing to protect).
+                await self._wait_for_idle(pause)
 
     def _learn_sync(self, task: LearningTask) -> None:
         """One background learning step + KB capacity enforcement (learner thread)."""

@@ -136,6 +136,33 @@ class TestServing:
         responses = run(scenario())
         assert responses[0].query_name == "Q1"
 
+    def test_break_mid_stream_retrieves_cancelled_tasks(self, galo):
+        """Regression: breaking out of ``stream`` used to cancel the leftover
+        submit tasks without awaiting them, leaving them pending at loop close
+        ("Task was destroyed but it is pending")."""
+        service = GaloService(galo, quiet_config(max_workers=1, max_pending=2))
+        loop_problems = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: loop_problems.append(context)
+            )
+            async with service:
+                tasks_before = asyncio.all_tasks()
+                stream = service.stream(QUERIES * 4)
+                async for _ in stream:
+                    break  # consumer abandons the batch mid-stream
+                # Closing the generator runs its ``finally`` (exactly what the
+                # loop's shutdown_asyncgens does after a bare break).
+                await stream.aclose()
+                return list(asyncio.all_tasks() - tasks_before)
+
+        leftover_tasks = run(scenario())
+        # Every cancelled submit task was awaited and retrieved: nothing is
+        # still pending, and the loop saw no unretrieved-task complaints.
+        assert leftover_tasks == []
+        assert loop_problems == []
+
 
 class TestAdmissionControl:
     def test_excess_submissions_are_rejected(self, galo):
@@ -182,6 +209,46 @@ class TestAdmissionControl:
         first, second = run(scenario())
         # Serial submissions never trip admission control.
         assert first.ok and second.ok
+
+    def test_idle_event_tracks_pending_transitions(self, galo):
+        """The learner's idle wait is event-driven: the idle event is set at
+        start, cleared while requests are in flight, and re-set on the exact
+        transition back to zero pending."""
+        service = GaloService(galo, quiet_config())
+
+        async def scenario():
+            async with service:
+                assert service._idle_event.is_set()
+                # A waiter started while idle returns immediately.
+                assert await service._wait_for_idle(0.0) is True
+                response = await service.submit(QUERIES[0][1], query_name="q")
+                assert response.ok
+                # Completion bookkeeping re-set the event.
+                assert service.pending == 0
+                assert service._idle_event.is_set()
+                assert await service._wait_for_idle(1.0) is True
+
+        run(scenario())
+
+    def test_wait_for_idle_respects_deadline(self, galo):
+        """A wait that cannot be satisfied returns False once the loop-time
+        deadline passes instead of spinning."""
+        service = GaloService(galo, quiet_config())
+
+        async def scenario():
+            async with service:
+                # Fake sustained traffic: pending never drains.
+                service._pending += 1
+                service._idle_event.clear()
+                try:
+                    started = service._loop.time()
+                    assert await service._wait_for_idle(0.05) is False
+                    assert service._loop.time() - started < 5.0
+                finally:
+                    service._pending -= 1
+                    service._idle_event.set()
+
+        run(scenario())
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -167,3 +167,34 @@ class TestServiceMetrics:
         assert metrics.sample_count < metrics.MAX_LATENCY_SAMPLES
         # The surviving sample still spans the stream (not just its head).
         assert metrics.latency_percentile(95) > 2 * metrics.MAX_LATENCY_SAMPLES
+
+    def test_extremes_survive_downsampling(self, monkeypatch):
+        """Halving the reservoir (``[::2]``) drops odd-indexed samples; the
+        true max/min must still be reported exactly from the running trackers.
+        """
+        monkeypatch.setattr(ServiceMetrics, "MAX_LATENCY_SAMPLES", 8)
+        metrics = ServiceMetrics()
+        # The 8th sample triggers the halving; 500.0 sits at an odd index and
+        # is dropped from the reservoir.
+        for value in [5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 500.0]:
+            metrics.record_latency(value)
+        assert 500.0 not in metrics._latencies_ms
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_max_ms"] == 500.0
+        assert snapshot["latency_min_ms"] == 5.0
+        assert metrics.latency_max_ms == 500.0
+        assert metrics.latency_min_ms == 5.0
+
+    def test_extremes_survive_stride_skips(self, monkeypatch):
+        """After a halving the stride doubles: samples skipped by the stride
+        never reach the reservoir but must still move the exact extremes."""
+        monkeypatch.setattr(ServiceMetrics, "MAX_LATENCY_SAMPLES", 8)
+        metrics = ServiceMetrics()
+        for value in range(1, 9):
+            metrics.record_latency(float(value))
+        # Stride is now 2: this sample is skipped by the reservoir entirely.
+        metrics.record_latency(1000.0)
+        assert 1000.0 not in metrics._latencies_ms
+        assert metrics.snapshot()["latency_max_ms"] == 1000.0
+        metrics.record_latency(0.25)
+        assert metrics.snapshot()["latency_min_ms"] == 0.25

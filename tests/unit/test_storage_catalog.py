@@ -59,6 +59,61 @@ class TestTableData:
         data.insert_rows(sample_rows(5))
         assert data.index("I_PK").lookup(4) == [4]
 
+    def test_bulk_insert_appends_incrementally(self):
+        """Regression: per-batch full index rebuilds made bulk loads
+        quadratic.  Batches must only append the new row ids, leaving
+        existing entry lists in place (and sorted)."""
+        schema = make_schema(
+            "ITEM",
+            [("i_item_sk", DataType.INTEGER), ("i_category", DataType.VARCHAR)],
+            [Index("I_CAT", "ITEM", "i_category")],
+        )
+        data = TableData(schema)
+        data.build_index(schema.indexes[0])
+        data.insert_rows(sample_rows(10))
+        index = data.index("I_CAT")
+        music_ids = index.lookup("Music")
+        assert music_ids == [0, 2, 4, 6, 8]
+        # The second batch extends the *same* list objects instead of
+        # rebuilding the entries dict from scratch.
+        entries_before = index.entries
+        data.insert_rows(
+            [{"i_item_sk": 10 + i, "i_category": "Music"} for i in range(3)]
+        )
+        assert index.entries is entries_before
+        assert index.lookup("Music") is music_ids
+        assert music_ids == [0, 2, 4, 6, 8, 10, 11, 12]
+        assert all(a < b for a, b in zip(music_ids, music_ids[1:]))
+
+    def test_incremental_insert_matches_full_rebuild(self):
+        """Many small batches must produce exactly the index one bulk load
+        builds (same keys, same sorted row-id lists, same range lookups)."""
+        schema = item_schema()
+        incremental = TableData(schema)
+        incremental.build_index(schema.indexes[0])
+        rows = sample_rows(60)
+        for start in range(0, 60, 7):
+            incremental.insert_rows(rows[start : start + 7])
+        bulk = TableData(schema)
+        bulk.build_index(schema.indexes[0])
+        bulk.insert_rows(rows)
+        assert incremental.index("I_PK").entries == bulk.index("I_PK").entries
+        assert incremental.index("I_PK").lookup_range(5, 25) == bulk.index(
+            "I_PK"
+        ).lookup_range(5, 25)
+
+    def test_sorted_keys_cache_invalidated_by_incremental_insert(self):
+        schema = item_schema()
+        data = TableData(schema)
+        data.build_index(schema.indexes[0])
+        data.insert_rows(sample_rows(10))
+        index = data.index("I_PK")
+        assert index.lookup_range(0, 100) == list(range(10))
+        data.insert_rows([{"i_item_sk": 50, "i_category": "Music"}])
+        # The cached sorted-key list must have been dropped: the new key is
+        # visible to range probes immediately.
+        assert index.lookup_range(40, 60) == [10]
+
     def test_index_range_lookup(self):
         data = TableData(item_schema())
         data.insert_rows(sample_rows(20))

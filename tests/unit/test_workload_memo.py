@@ -1,0 +1,252 @@
+"""Workload-scoped execution memo: cross-sweep sharing, join subtrees, epochs.
+
+The tentpole contract under test: one :class:`ExecutionMemo` shared across
+every plan evaluation of a workload sweep -- including whole join subtrees --
+must be invisible in the output.  Rows (values and dict key order), simulated
+``elapsed_ms``, per-operator actual cardinalities and every runtime metric
+stay bit-identical to cold execution, and the memo dies with the data: any
+DDL, data load or RUNSTATS bumps the database's data epoch and resets it.
+"""
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase
+from repro.core.learning.engine import LearningConfig
+from repro.core.matching.engine import MatchingConfig, MatchingEngine
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionMemo, Executor, MemoEntry, VectorizedExecutor
+from repro.engine.schema import Index, make_schema
+from repro.engine.types import DataType
+from repro.errors import LearningError
+
+JOIN_SQLS = [
+    "SELECT i_category, COUNT(*) FROM sales, item "
+    "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category",
+    "SELECT i_category, SUM(s_price) FROM sales, item, date_dim "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND d_year >= 2018 "
+    "GROUP BY i_category",
+    "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+    "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND s_outlet_sk = o_outlet_sk "
+    "AND i_category = 'Music' AND o_state = 'CA' GROUP BY i_category, o_state",
+    "SELECT o_state, AVG(s_price) FROM sales, outlet "
+    "WHERE s_outlet_sk = o_outlet_sk GROUP BY o_state",
+]
+
+JOIN_MEMO_TAGS = {"HJ", "MJ", "NJ"}
+
+
+def assert_identical(reference, candidate, context=""):
+    """Full ExecutionResult equality: rows, elapsed, cardinalities, metrics."""
+    assert candidate.rows == reference.rows, f"rows differ: {context}"
+    assert candidate.elapsed_ms == reference.elapsed_ms, f"elapsed differs: {context}"
+    assert (
+        candidate.actual_cardinalities == reference.actual_cardinalities
+    ), f"cardinalities differ: {context}"
+    assert (
+        candidate.metrics.as_dict() == reference.metrics.as_dict()
+    ), f"metrics differ: {context}"
+
+
+class TestWorkloadMemoAccessor:
+    def test_same_instance_per_epoch(self, mini_db):
+        memo = mini_db.workload_memo()
+        assert mini_db.workload_memo() is memo
+        assert memo.epoch == mini_db.data_epoch
+        assert memo.max_entries == Database.WORKLOAD_MEMO_MAX_ENTRIES
+
+    def test_entry_cap_evicts_oldest_first(self):
+        memo = ExecutionMemo(max_entries=2)
+        entry = MemoEntry(columns={}, positions=[], deltas=(), traces=())
+        memo.store("a", entry)
+        memo.store("b", entry)
+        memo.store("c", entry)
+        assert list(memo.entries) == ["b", "c"]
+        # Re-storing an existing key must not evict anything.
+        memo.store("c", entry)
+        assert list(memo.entries) == ["b", "c"]
+        memo.aux_store("x", 1)
+        memo.aux_store("y", 2)
+        memo.aux_store("z", 3)
+        assert list(memo.aux) == ["y", "z"]
+
+
+class TestJoinSubtreeMemo:
+    def test_join_entries_created_and_hit(self, mini_db):
+        memo = ExecutionMemo()
+        engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        engine.execute(mini_db.explain(JOIN_SQLS[1]), memo=memo)
+        join_keys = [key for key in memo.entries if key[0] in JOIN_MEMO_TAGS]
+        assert join_keys, "no join subtree was memoized"
+        hits_before = memo.hits
+        engine.execute(mini_db.explain(JOIN_SQLS[1]), memo=memo)
+        assert memo.hits > hits_before
+
+    def test_cross_sweep_sharing_bit_identical(self, mini_db):
+        """Two sweeps over the workload share one memo; every execution must
+        equal the row engine's cold run -- scans, joins and all."""
+        row_engine = Executor(mini_db.catalog, mini_db.config)
+        vec_engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        memo = ExecutionMemo()
+        for sweep in range(2):
+            for sql in JOIN_SQLS:
+                plans = [mini_db.explain(sql)]
+                plans += mini_db.random_plans(sql, 4)
+                for qgm in plans:
+                    reference = row_engine.execute(qgm.copy())
+                    candidate = vec_engine.execute(qgm.copy(), memo=memo)
+                    assert_identical(reference, candidate, context=f"{sweep}:{sql}")
+        # The second sweep re-sees every plan: the memo must be sharing join
+        # subtrees across sweeps, not merely across the plans of one query.
+        assert memo.hits > 0
+        assert any(key[0] in JOIN_MEMO_TAGS for key in memo.entries)
+
+    def test_join_hit_annotates_skipped_subtree(self, mini_db):
+        memo = ExecutionMemo()
+        engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        engine.execute(mini_db.explain(JOIN_SQLS[2]), memo=memo)
+        second = mini_db.explain(JOIN_SQLS[2])
+        result = engine.execute(second, memo=memo)
+        for node in second.nodes():
+            assert node.actual_cardinality is not None
+        reference = Executor(mini_db.catalog, mini_db.config).execute(
+            mini_db.explain(JOIN_SQLS[2])
+        )
+        assert_identical(reference, result)
+
+
+def _tiny_database():
+    db = Database(config=DbConfig())
+    db.create_table(
+        make_schema(
+            "T",
+            [("t_id", DataType.INTEGER), ("t_val", DataType.INTEGER)],
+            [Index("T_PK", "T", "t_id", unique=True)],
+        )
+    )
+    db.load_rows("T", [{"t_id": i, "t_val": i % 5} for i in range(100)])
+    return db
+
+
+class TestEpochInvalidation:
+    SQL = "SELECT t_id FROM t WHERE t_val = 3"
+
+    def test_data_load_resets_memo(self):
+        db = _tiny_database()
+        memo = db.workload_memo()
+        first = db.execute_plan(db.explain(self.SQL), memo=memo)
+        assert memo.entries, "execution should have populated the memo"
+        epoch_before = db.data_epoch
+        resets_before = memo.resets
+
+        db.load_rows("T", [{"t_id": 100 + i, "t_val": 3} for i in range(10)])
+        assert db.data_epoch > epoch_before
+        refreshed = db.workload_memo()
+        assert refreshed is memo, "the memo instance is stable; only entries reset"
+        assert memo.resets == resets_before + 1
+        assert not memo.entries
+
+        second = db.execute_plan(db.explain(self.SQL), memo=db.workload_memo())
+        assert len(second.rows) == len(first.rows) + 10
+        cold = Executor(db.catalog, db.config).execute(db.explain(self.SQL))
+        assert_identical(cold, second)
+
+    def test_inflight_execution_cannot_repopulate_reset_memo(self):
+        """An execution pinned to the memo before a data change must not leak
+        its (stale) stores into the freshly reset memo."""
+        db = _tiny_database()
+        shared = db.workload_memo()
+        pin = shared.pinned()  # what the executor does at execute() start
+        assert pin.entries is shared.entries
+        # Data changes mid-flight: the shared memo resets.
+        db.load_rows("T", [{"t_id": 200, "t_val": 1}])
+        refreshed = db.workload_memo()
+        assert refreshed is shared and not shared.entries
+        # The in-flight run stores into its pinned (orphaned) snapshot...
+        pin.store("stale", MemoEntry(columns={}, positions=[], deltas=(), traces=()))
+        assert pin.peek("stale") is not None
+        # ...which is invisible to the new epoch's cache.
+        assert "stale" not in shared.entries
+        # Counters stay shared for observability.
+        pin.lookup("anything")
+        assert shared.misses == pin.misses
+
+    def test_runstats_and_ddl_reset_memo(self):
+        db = _tiny_database()
+        memo = db.workload_memo()
+        db.execute_plan(db.explain(self.SQL), memo=memo)
+        assert memo.entries
+        db.runstats("T")
+        assert not db.workload_memo().entries
+        db.execute_plan(db.explain(self.SQL), memo=db.workload_memo())
+        db.create_index(Index("T_VAL_IDX", "T", "t_val"))
+        assert not db.workload_memo().entries
+
+
+class TestLearningMemoScopes:
+    @staticmethod
+    def _outcome(database, queries, scope):
+        galo = Galo(
+            database,
+            knowledge_base=KnowledgeBase(),
+            learning_config=LearningConfig(
+                max_joins=2,
+                random_plans_per_subquery=3,
+                max_variants=2,
+                memo_scope=scope,
+            ),
+        )
+        report = galo.learn(queries, workload_name=f"memo-{scope}")
+        names = sorted(
+            template.name.split(":", 1)[1]
+            for template in galo.knowledge_base.all_templates()
+        )
+        improvements = sorted(
+            round(value, 12)
+            for record in report.records
+            for value in record.improvements
+        )
+        return report.template_count, names, improvements
+
+    @pytest.mark.slow
+    def test_scopes_learn_identically(self, mini_db, mini_queries):
+        """Workload-scoped, per-query and disabled memos must all learn the
+        exact same templates with the exact same improvements."""
+        outcomes = {
+            scope: self._outcome(mini_db, mini_queries, scope)
+            for scope in ("workload", "query", "off")
+        }
+        assert outcomes["workload"] == outcomes["query"] == outcomes["off"]
+        assert outcomes["workload"][0] > 0, "sweep should learn something"
+
+    def test_unknown_scope_rejected(self, mini_db):
+        galo = Galo(
+            mini_db,
+            knowledge_base=KnowledgeBase(),
+            learning_config=LearningConfig(memo_scope="banana"),
+        )
+        with pytest.raises(LearningError):
+            galo.learn_query("SELECT COUNT(*) FROM outlet", query_name="q")
+
+
+class TestOnlineTierMeasurement:
+    def test_execute_plans_memo_on_off_identical(self, mini_db):
+        """The online measurement path (execute_plans=True) reports the same
+        runtimes through the workload memo as without it."""
+        queries = [(f"q{i}", sql) for i, sql in enumerate(JOIN_SQLS)]
+        kb = KnowledgeBase()
+        engine_on = MatchingEngine(mini_db, kb, MatchingConfig(max_joins=2))
+        engine_off = MatchingEngine(
+            mini_db, kb, MatchingConfig(max_joins=2, use_workload_memo=False)
+        )
+        assert engine_off.execution_memo() is None
+        assert engine_on.execution_memo() is mini_db.workload_memo()
+        on = engine_on.reoptimize_workload(queries, execute=True)
+        off = engine_off.reoptimize_workload(queries, execute=True)
+        assert [r.original_elapsed_ms for r in on] == [
+            r.original_elapsed_ms for r in off
+        ]
+        assert [r.reoptimized_elapsed_ms for r in on] == [
+            r.reoptimized_elapsed_ms for r in off
+        ]
