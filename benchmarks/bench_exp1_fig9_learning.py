@@ -164,7 +164,7 @@ def test_exp1_workload_memo_speedup(benchmark, settings):
     benchmark.extra_info["warm_speedup_vs_memo_off"] = off_seconds / max(
         warm_seconds, 1e-9
     )
-    benchmark.extra_info["memo_stats"] = dict(database.workload_memo().stats)
+    benchmark.extra_info["memo_stats"] = dict(database.workload_memo().stats())
     benchmark.extra_info["templates_learned"] = warm_report.template_count
     benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
     if not bench_tiny_mode():
@@ -172,6 +172,67 @@ def test_exp1_workload_memo_speedup(benchmark, settings):
             f"workload memo warm sweep only {speedup_vs_query:.2f}x the "
             f"per-query scope"
         )
+
+
+def test_exp1_columnar_backend_speedup(benchmark, settings):
+    """Learning throughput: numpy column backend vs the plain-list backend.
+
+    Both backends run the identical engine code; only the column
+    representation (typed ndarrays + null masks vs Python lists) differs, so
+    the learned templates and every improvement must be bit-identical.  Each
+    backend pays its own warm-up sweep on a prefix of the workload before the
+    measured sweep, isolating steady-state throughput from one-time costs
+    (imports, typed-view builds, sorted index keys).  Acceptance bar: >= 1.5x
+    at the default bench configuration; in tiny mode only equality is
+    asserted.  Skips entirely when numpy is unavailable (the list fallback's
+    correctness is covered by tier-1).
+    """
+    from repro.engine.columns import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed; list fallback covered by tier-1")
+
+    import dataclasses
+
+    def learn_with(backend):
+        bundle = build_bundle(
+            "tpcds", dataclasses.replace(settings, column_backend=backend)
+        )
+        database = bundle.workload.database
+        queries = bundle.workload.queries[: max(2, settings.learning_query_count // 2)]
+        config = settings.learning_config()
+        warmup = Galo(database, knowledge_base=KnowledgeBase(), learning_config=config)
+        warmup.learn(queries[:2], workload_name=f"columnar-warmup-{backend}")
+        galo = Galo(database, knowledge_base=KnowledgeBase(), learning_config=config)
+        started = time.perf_counter()
+        report = galo.learn(queries, workload_name=f"columnar-{backend}")
+        return time.perf_counter() - started, report
+
+    measured = {}
+
+    def numpy_learn():
+        seconds, report = learn_with("numpy")
+        measured["seconds"] = seconds
+        return report
+
+    report = benchmark.pedantic(numpy_learn, rounds=1, iterations=1)
+    list_seconds, list_report = learn_with("list")
+    speedup = list_seconds / max(measured["seconds"], 1e-9)
+    benchmark.extra_info["column_backend"] = "numpy-vs-list"
+    benchmark.extra_info["numpy_seconds"] = measured["seconds"]
+    benchmark.extra_info["list_seconds"] = list_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["templates_learned"] = report.template_count
+    benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
+    # Identical learning outcome is non-negotiable regardless of speed.
+    assert report.template_count == list_report.template_count
+    assert sorted(
+        value for record in report.records for value in record.improvements
+    ) == pytest.approx(
+        sorted(value for record in list_report.records for value in record.improvements)
+    )
+    if not bench_tiny_mode():
+        assert speedup >= 1.5, f"numpy backend only {speedup:.2f}x faster"
 
 
 def test_exp1_effectiveness_templates_and_improvement(benchmark, tpcds_bundle):

@@ -207,7 +207,7 @@ def test_fig11_online_measurement_vectorized_memo(benchmark, sweep_workload, kb_
     benchmark.extra_info["memo_off_seconds"] = round(plain_seconds, 4)
     benchmark.extra_info["memo_on_seconds"] = round(memo_seconds, 4)
     benchmark.extra_info["speedup_vs_memo_off"] = round(speedup, 2)
-    benchmark.extra_info["memo_stats"] = dict(database.workload_memo().stats)
+    benchmark.extra_info["memo_stats"] = dict(database.workload_memo().stats())
     benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
     # Like every perf-ratio assert in the CI bench jobs, the bar only applies
     # at the full bench scale: tiny mode is noise-dominated.

@@ -11,6 +11,9 @@ the resulting ``BENCH_exp1.json`` so the perf trajectory is tracked).
 
 from __future__ import annotations
 
+import dataclasses
+import os
+
 import pytest
 
 from repro.experiments.harness import (
@@ -42,9 +45,37 @@ TINY_SETTINGS = ExperimentSettings(
 )
 
 
+def bench_column_backend() -> str:
+    """Column backend the bench session runs on.
+
+    ``GALO_BENCH_COLUMN_BACKEND`` pins ``"numpy"`` or ``"list"`` (the CI
+    smoke job runs the harness once per value); unset means the engine
+    default (``"auto"``: numpy when importable).
+    """
+    return os.environ.get("GALO_BENCH_COLUMN_BACKEND", "").strip() or "auto"
+
+
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
-    return TINY_SETTINGS if bench_tiny_mode() else BENCH_SETTINGS
+    chosen = TINY_SETTINGS if bench_tiny_mode() else BENCH_SETTINGS
+    backend = bench_column_backend()
+    if backend != "auto":
+        chosen = dataclasses.replace(chosen, column_backend=backend)
+    return chosen
+
+
+@pytest.fixture(autouse=True)
+def record_column_backend(request):
+    """Stamp every benchmark's JSON record with the resolved column backend."""
+    yield
+    benchmark = request.node.funcargs.get("benchmark") if hasattr(request.node, "funcargs") else None
+    if benchmark is not None and "column_backend" not in benchmark.extra_info:
+        from repro.engine.config import DbConfig
+
+        backend = bench_column_backend()
+        benchmark.extra_info["column_backend"] = (
+            DbConfig(column_backend=backend).resolved_column_backend()
+        )
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,7 @@ sampled during learning.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import uuid
 from collections import Counter
@@ -309,6 +310,14 @@ class KnowledgeBase:
         #: per-template subgraphs are maintained copy-on-write, so a reader
         #: always sees either the old or the new state of any one template.
         self._write_lock = threading.RLock()
+        #: True when the knowledge base has mutated since the last ``save``;
+        #: the serving tier's checkpoint timer skips clean snapshots.
+        self._dirty = False
+
+    @property
+    def dirty(self) -> bool:
+        """Mutated since the last :meth:`save` (or since construction)."""
+        return self._dirty
 
     # ------------------------------------------------------------------
 
@@ -379,6 +388,7 @@ class KnowledgeBase:
             )
             self._usage[template_id] = TemplateUsage(last_used_tick=self._usage_tick)
             self.lifecycle_stats["added"] += 1
+            self._dirty = True
         return template
 
     def _add_template_triples(
@@ -553,6 +563,7 @@ class KnowledgeBase:
                 for triple in list(subgraph):
                     self.graph.remove(triple)
             self.lifecycle_stats["evicted"] += 1
+            self._dirty = True
             return True
 
     def update_template(
@@ -591,6 +602,7 @@ class KnowledgeBase:
             if recommended_summary is not None:
                 template.recommended_summary = recommended_summary
             self.lifecycle_stats["updated"] += 1
+            self._dirty = True
             return template
 
     def _replace_literal(self, template_id, subject, predicate, value) -> None:
@@ -813,19 +825,32 @@ class KnowledgeBase:
     #: On-disk format version of ``template_index.json``.
     INDEX_FORMAT_VERSION = 1
 
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Write ``text`` to ``path`` via a temp file + atomic rename.
+
+        A crash (or a concurrent reader racing an online checkpoint) never
+        observes a half-written file: each file is either its previous
+        version or the complete new one.
+        """
+        temp_path = path.with_name(path.name + ".tmp")
+        temp_path.write_text(text, encoding="utf-8")
+        os.replace(temp_path, path)
+
     def save(self, directory: str) -> None:
         """Persist the knowledge base (N-Triples graph + JSON template registry
         + the :class:`TemplateIndex` buckets, so ``load`` skips the rebuild
-        scan over the triple store)."""
+        scan over the triple store).  Each file is written atomically (temp +
+        rename); a successful save clears :attr:`dirty`."""
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         # Under the write lock: an online learner adding or evicting templates
         # mid-save would otherwise leave the three files mutually inconsistent.
         with self._write_lock:
-            (path / "knowledge_base.nt").write_text(self.graph.to_ntriples(), encoding="utf-8")
-            (path / "template_index.json").write_text(
+            self._write_atomic(path / "knowledge_base.nt", self.graph.to_ntriples())
+            self._write_atomic(
+                path / "template_index.json",
                 json.dumps(self._index_payload(), indent=2, sort_keys=True),
-                encoding="utf-8",
             )
             # The registry is written last as the commit point: a crash mid-save
             # leaves load() failing loudly on the missing/old registry rather
@@ -834,9 +859,10 @@ class KnowledgeBase:
                 template_id: template.to_dict()
                 for template_id, template in self.templates.items()
             }
-            (path / "templates.json").write_text(
-                json.dumps(registry, indent=2, sort_keys=True), encoding="utf-8"
+            self._write_atomic(
+                path / "templates.json", json.dumps(registry, indent=2, sort_keys=True)
             )
+            self._dirty = False
 
     def _index_payload(self) -> dict:
         """Serializable form of the index profiles + per-template subjects."""

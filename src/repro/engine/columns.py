@@ -1,0 +1,280 @@
+"""Typed, NumPy-backed column vectors behind the list-of-values interface.
+
+``ColumnVector`` is the storage unit :class:`repro.engine.storage.TableData`
+holds per column.  It is *sequence-compatible* with the plain Python lists it
+replaces -- ``len``, ``[i]``, iteration and ``append`` all behave identically
+and always yield plain Python values (``None`` for SQL NULL) -- so the row
+engine, the statistics collector and every existing caller keep working
+unchanged.  On top of that, when the ``"numpy"`` backend is active, a column
+exposes a lazily built **typed view** via :meth:`ColumnVector.arrays`:
+
+* INTEGER / DATE columns -> ``int64`` array, DECIMAL -> ``float64``,
+  VARCHAR (and anything that does not fit its dtype, e.g. out-of-int64-range
+  integers) -> ``object``;
+* SQL NULLs are carried in an explicit boolean **null mask** (``True`` =
+  NULL).  Typed arrays store ``0`` at masked slots; ``object`` arrays embed
+  ``None`` directly (the mask is still built, so ``IS NULL`` vectorizes for
+  string columns too).
+
+The typed view is what the vectorized predicate path
+(:func:`repro.engine.expressions.compile_predicate`) and the batch executor's
+gather/join/sort kernels consume.  It is a cache over the authoritative
+Python value list: appends invalidate it, the next vectorized access rebuilds
+it.  Loads happen once, scans happen thousands of times per learning sweep,
+so the rebuild cost is amortized away.
+
+Representation invariant for gathered (executor-internal) columns: a **typed
+(non-object) ndarray never contains NULLs** -- :func:`gather` widens to an
+``object`` array with embedded ``None`` the moment a NULL is selected.
+Downstream code can therefore treat any numeric ndarray as null-free.
+
+The module imports cleanly without numpy installed: :data:`HAVE_NUMPY` is
+False, every column silently uses the ``"list"`` backend, and
+:func:`resolve_backend` refuses an explicit ``"numpy"`` request loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.types import DataType
+from repro.errors import CatalogError
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = np is not None
+
+#: Typed view of a column: ``(values array, null mask or None)``.  The mask is
+#: ``None`` when the column holds no NULLs.
+TypedArrays = Tuple[Any, Optional[Any]]
+
+_NUMPY_DTYPES = {
+    DataType.INTEGER: "int64",
+    DataType.DATE: "int64",
+    DataType.DECIMAL: "float64",
+    DataType.VARCHAR: "object",
+}
+
+
+def resolve_backend(name: str) -> str:
+    """Resolve a ``DbConfig.column_backend`` value to ``"numpy"`` or ``"list"``.
+
+    ``"auto"`` (the default) picks numpy when it is importable and falls back
+    to plain lists otherwise; an explicit ``"numpy"`` without numpy installed
+    is a configuration error, not a silent downgrade.
+    """
+    if name == "auto":
+        return "numpy" if HAVE_NUMPY else "list"
+    if name == "numpy":
+        if not HAVE_NUMPY:
+            raise CatalogError(
+                'column_backend="numpy" requested but numpy is not installed '
+                '(use "auto" or "list")'
+            )
+        return "numpy"
+    if name == "list":
+        return "list"
+    raise CatalogError(f"unknown column_backend {name!r}")
+
+
+class ColumnVector:
+    """One table column: a Python value list plus a lazy typed-array view."""
+
+    __slots__ = ("data_type", "backend", "_values", "_typed")
+
+    def __init__(
+        self,
+        data_type: DataType,
+        backend: str = "list",
+        values: Optional[Iterable[Any]] = None,
+    ):
+        self.data_type = data_type
+        self.backend = backend
+        self._values: List[Any] = list(values) if values is not None else []
+        #: Cached ``(array, mask)`` view; None = not built since last append.
+        self._typed: Optional[TypedArrays] = None
+
+    # -- sequence protocol (plain Python values, None = NULL) ----------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnVector({self.data_type.value}, backend={self.backend!r}, "
+            f"n={len(self._values)})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        """Value equality against other columns or plain sequences."""
+        if isinstance(other, ColumnVector):
+            return self._values == other._values
+        if isinstance(other, (list, tuple)):
+            return self._values == list(other)
+        return NotImplemented
+
+    def append(self, value: Any) -> None:
+        self._values.append(value)
+        self._typed = None
+
+    def extend(self, values: Iterable[Any]) -> None:
+        self._values.extend(values)
+        self._typed = None
+
+    def tolist(self) -> List[Any]:
+        """The authoritative Python value list (treat as read-only)."""
+        return self._values
+
+    # -- typed view ----------------------------------------------------------
+
+    def arrays(self) -> Optional[TypedArrays]:
+        """``(typed array, null mask)`` under the numpy backend, else None.
+
+        The view is rebuilt lazily after appends.  A column whose values do
+        not fit the schema dtype (e.g. integers beyond int64) degrades to an
+        ``object`` array rather than failing -- the vectorized predicate path
+        then declines it and the closure path takes over, preserving exact
+        Python comparison semantics.
+        """
+        if self.backend != "numpy" or np is None:
+            return None
+        if self._typed is None:
+            self._typed = self._build_typed()
+        return self._typed
+
+    def _build_typed(self) -> TypedArrays:
+        values = self._values
+        count = len(values)
+        mask: Optional[Any] = None
+        has_null = any(value is None for value in values)
+        if has_null:
+            mask = np.fromiter(
+                (value is None for value in values), dtype=bool, count=count
+            )
+        dtype = _NUMPY_DTYPES[self.data_type]
+        if dtype != "object":
+            try:
+                if has_null:
+                    array = np.fromiter(
+                        (0 if value is None else value for value in values),
+                        dtype=dtype,
+                        count=count,
+                    )
+                else:
+                    array = np.fromiter(values, dtype=dtype, count=count)
+                return array, mask
+            except (OverflowError, TypeError, ValueError):
+                pass  # fall through to the object representation
+        array = np.empty(count, dtype=object)
+        for position, value in enumerate(values):
+            array[position] = value
+        return array, mask
+
+
+# ---------------------------------------------------------------------------
+# Gather / conversion kernels shared by the vectorized executor
+# ---------------------------------------------------------------------------
+
+
+def as_index_array(picks: Sequence[int]) -> Any:
+    """``picks`` as an integer ndarray usable for fancy indexing."""
+    if isinstance(picks, np.ndarray):
+        return picks
+    if isinstance(picks, range):
+        return np.arange(picks.start, picks.stop, picks.step, dtype=np.intp)
+    return np.asarray(picks, dtype=np.intp)
+
+
+def gather(values: Sequence[Any], picks: Sequence[int]) -> Sequence[Any]:
+    """Rows of ``values`` at ``picks``, vectorized when the input is typed.
+
+    Returns an ndarray for typed inputs (``object`` dtype with embedded
+    ``None`` whenever a NULL is selected, keeping the null-free invariant for
+    numeric arrays) and a plain list otherwise.
+    """
+    if np is not None:
+        if isinstance(values, ColumnVector):
+            pair = values.arrays()
+            if pair is not None:
+                array, mask = pair
+                index = as_index_array(picks)
+                out = array[index]
+                if mask is not None and array.dtype != object:
+                    taken_mask = mask[index]
+                    if taken_mask.any():
+                        out = out.astype(object)
+                        out[taken_mask] = None
+                return out
+            values = values.tolist()
+        elif isinstance(values, np.ndarray):
+            return values[as_index_array(picks)]
+    elif isinstance(values, ColumnVector):
+        values = values.tolist()
+    return [values[p] for p in picks]
+
+
+def python_values(
+    values: Sequence[Any], picks: Optional[Sequence[int]] = None
+) -> List[Any]:
+    """``values`` (optionally gathered at ``picks``) as plain Python objects.
+
+    Used at representation boundaries -- result-row materialization, group-by
+    keys/aggregates -- where numpy scalars must not leak into row dicts (JSON
+    serialization in the serving tier, exact type parity with the row engine).
+    """
+    if isinstance(values, ColumnVector):
+        values = values.tolist()
+    elif np is not None and isinstance(values, np.ndarray):
+        if picks is not None:
+            return values[as_index_array(picks)].tolist()
+        return values.tolist()
+    if picks is None:
+        return list(values)
+    return [values[p] for p in picks]
+
+
+def numeric_array(values: Sequence[Any]) -> Optional[Any]:
+    """``values`` as a null-free numeric ndarray, or None.
+
+    Accepts gathered executor columns (where a typed ndarray is null-free by
+    construction) and ``ColumnVector`` storage columns (checked against their
+    mask).  The join/sort kernels vectorize exactly when this returns an
+    array; anything else -- object dtype, NULL-bearing, plain lists -- takes
+    the element-wise fallback, which is the behavioral oracle.
+    """
+    if np is None:
+        return None
+    if isinstance(values, ColumnVector):
+        pair = values.arrays()
+        if pair is None:
+            return None
+        array, mask = pair
+        if array.dtype == object or (mask is not None and mask.any()):
+            return None
+        return array
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return values
+    return None
+
+
+def nbytes_of(values: Any) -> int:
+    """Estimated payload bytes of one column/positions payload (memo sizing)."""
+    if np is not None and isinstance(values, np.ndarray):
+        if values.dtype == object:
+            return int(values.size) * 32
+        return int(values.nbytes)
+    if isinstance(values, ColumnVector):
+        return len(values) * 32
+    try:
+        return len(values) * 32
+    except TypeError:
+        return 0

@@ -63,6 +63,15 @@ class DbConfig:
     #: :mod:`repro.engine.executor.vectorized`.
     executor: str = "vectorized"
 
+    #: Column storage/execution representation: ``"numpy"`` (typed int64 /
+    #: float64 / object arrays with explicit null masks; predicates, scans,
+    #: joins and sorts run as whole-array kernels), ``"list"`` (plain Python
+    #: lists, element-wise evaluation) or ``"auto"`` (numpy when importable,
+    #: list otherwise -- the default, so the engine runs without numpy).
+    #: Both backends are bit-identical in rows, metrics and ``elapsed_ms``;
+    #: see :mod:`repro.engine.columns`.
+    column_backend: str = "auto"
+
     # --- optimizer cost model (timerons) ---
     opt_seq_page_cost: float = 1.0
     opt_rand_page_cost: float = 4.0
@@ -95,6 +104,12 @@ class DbConfig:
     def with_overrides(self, **kwargs: float) -> "DbConfig":
         """Return a copy of this configuration with ``kwargs`` replaced."""
         return replace(self, **kwargs)
+
+    def resolved_column_backend(self) -> str:
+        """``column_backend`` with ``"auto"`` resolved (``"numpy"``/``"list"``)."""
+        from repro.engine.columns import resolve_backend
+
+        return resolve_backend(self.column_backend)
 
 
 DEFAULT_CONFIG = DbConfig()

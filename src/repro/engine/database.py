@@ -40,6 +40,10 @@ class Database:
     EXPLAIN_CACHE_SIZE = 256
     #: Entry cap for the shared workload-scoped execution memo (per cache).
     WORKLOAD_MEMO_MAX_ENTRIES = 4096
+    #: Byte budget for the memo's result entries (estimated payload bytes):
+    #: a handful of huge materialized join outputs must not outweigh
+    #: thousands of scan entries under the entry-count cap alone.
+    WORKLOAD_MEMO_MAX_BYTES = 128 * 1024 * 1024
 
     def __init__(self, config: Optional[DbConfig] = None, name: str = "GALODB"):
         self.name = name
@@ -62,7 +66,9 @@ class Database:
         # execution memo is stamped with it and lazily reset when it moves.
         self._data_epoch = 0
         self._workload_memo = ExecutionMemo(
-            epoch=0, max_entries=self.WORKLOAD_MEMO_MAX_ENTRIES
+            epoch=0,
+            max_entries=self.WORKLOAD_MEMO_MAX_ENTRIES,
+            max_bytes=self.WORKLOAD_MEMO_MAX_BYTES,
         )
         self._memo_lock = threading.Lock()
 

@@ -18,7 +18,6 @@ is selected with ``DbConfig.executor = "row"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
@@ -31,18 +30,46 @@ from repro.engine.storage import TableData
 from repro.errors import PlanError
 
 
-@dataclass
 class ExecutionResult:
-    """Rows produced plus the runtime metrics and simulated elapsed time."""
+    """Rows produced plus the runtime metrics and simulated elapsed time.
 
-    rows: List[Row]
-    metrics: RuntimeMetrics
-    elapsed_ms: float
-    actual_cardinalities: Dict[int, int] = field(default_factory=dict)
+    ``rows`` may be given eagerly (a list of dicts) or lazily via
+    ``rows_factory``: the learning tier executes thousands of candidate plans
+    per sweep and ranks them purely on metrics/elapsed time, so materializing
+    one dict per result row at every plan root is wasted work there.  The
+    factory runs at most once, on first access; every consumer that does read
+    ``rows`` (the serving tier, the differential tests) sees exactly the rows
+    an eager construction would have produced.
+    """
+
+    def __init__(
+        self,
+        rows: Optional[List[Row]] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        elapsed_ms: float = 0.0,
+        actual_cardinalities: Optional[Dict[int, int]] = None,
+        rows_factory=None,
+        row_count: Optional[int] = None,
+    ):
+        if rows is None and rows_factory is None:
+            rows = []
+        self._rows = rows
+        self._rows_factory = rows_factory
+        self._row_count = len(rows) if rows is not None else int(row_count or 0)
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.elapsed_ms = elapsed_ms
+        self.actual_cardinalities = actual_cardinalities or {}
+
+    @property
+    def rows(self) -> List[Row]:
+        if self._rows is None:
+            self._rows = self._rows_factory()
+            self._rows_factory = None
+        return self._rows
 
     @property
     def row_count(self) -> int:
-        return len(self.rows)
+        return self._row_count
 
     def cardinality_q_errors(self, qgm: Qgm) -> Dict[int, float]:
         """Per-operator q-error: max(est/actual, actual/est), both floored at 1.

@@ -51,6 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.engine.columns import nbytes_of
 from repro.engine.executor.bufferpool import BufferPool
 from repro.engine.executor.metrics import RuntimeMetrics
 
@@ -80,6 +81,30 @@ class MemoEntry:
     child_cardinalities: Tuple[int, ...] = ()
     #: Row count of a materialized batch (used only when ``positions`` is None).
     length: int = 0
+    #: Estimated payload bytes (filled on first ``ExecutionMemo.store``).
+    nbytes: int = 0
+
+    def estimated_bytes(self) -> int:
+        """Estimated bytes this entry *owns*.
+
+        Scan/filter/sort entries share the table's backing columns with every
+        other entry over that table -- charging each the full column payload
+        would let one table's scans blow the whole byte budget -- so entries
+        with a ``positions`` vector are charged for the positions (ndarray
+        ``nbytes``, or a per-element estimate for lists) plus their traces.
+        Materialized join outputs (``positions is None``) own their gathered
+        column arrays and are charged for them in full.
+        """
+        total = 256  # struct overhead: deltas, cardinalities, dict slot
+        if self.positions is not None:
+            total += nbytes_of(self.positions)
+        else:
+            for values in self.columns.values():
+                total += nbytes_of(values)
+        for trace in self.traces:
+            if trace[0] == "rand":
+                total += nbytes_of(trace[2])
+        return total
 
     def replay(self, metrics: RuntimeMetrics, pool: BufferPool) -> None:
         """Charge this subtree to ``metrics`` / ``pool`` as if executed cold."""
@@ -108,9 +133,15 @@ class ExecutionMemo:
     per plan-evaluation sweep and discard it.
 
     ``max_entries`` bounds both caches (FIFO eviction): a long-lived serving
-    process must not grow the memo without bound.  Join entries are
-    self-contained (child traces are copied in, not referenced), so evicting
-    a child never invalidates a parent entry.
+    process must not grow the memo without bound.  ``max_bytes`` additionally
+    bounds the *estimated payload bytes* of the result-entry cache (see
+    :meth:`MemoEntry.estimated_bytes`): entry counts alone let a handful of
+    huge materialized join outputs outweigh thousands of scan entries.  An
+    entry larger than the whole budget is simply not cached (storing it would
+    evict everything else for one tenant).  Byte accounting is best-effort
+    under the same lock-free concurrency rules as the entry cap.  Join
+    entries are self-contained (child traces are copied in, not referenced),
+    so evicting a child never invalidates a parent entry.
     """
 
     entries: Dict[Hashable, MemoEntry] = field(default_factory=dict)
@@ -120,6 +151,14 @@ class ExecutionMemo:
     epoch: Optional[int] = None
     #: Per-cache entry cap (None = unbounded); oldest entries evicted first.
     max_entries: Optional[int] = None
+    #: Byte budget for the result-entry cache (None = unbounded).
+    max_bytes: Optional[int] = None
+    #: Byte total of the *current* ``entries`` dict, boxed so it travels with
+    #: the dict it describes: :meth:`pinned` views share the box along with
+    #: the dicts, and :meth:`reset` replaces both together -- a pinned
+    #: execution's late stores therefore account against its own (orphaned)
+    #: snapshot and can never corrupt the new epoch's budget.
+    entry_bytes_box: List[int] = field(default_factory=lambda: [0])
     #: Cumulative counters, held in one mutable mapping so :meth:`pinned`
     #: handles and the shared memo report into the same place.
     counters: Dict[str, int] = field(
@@ -129,6 +168,7 @@ class ExecutionMemo:
             "aux_hits": 0,
             "aux_misses": 0,
             "resets": 0,
+            "byte_evictions": 0,
         }
     )
 
@@ -167,6 +207,8 @@ class ExecutionMemo:
             aux=self.aux,
             epoch=self.epoch,
             max_entries=self.max_entries,
+            max_bytes=self.max_bytes,
+            entry_bytes_box=self.entry_bytes_box,
             counters=self.counters,
         )
         return view
@@ -206,8 +248,49 @@ class ExecutionMemo:
         except TypeError:
             pass
 
+    @staticmethod
+    def _evict_oldest_entry(target: Dict[Hashable, Any], bytes_box: List[int]) -> bool:
+        """Pop the FIFO-oldest result entry, releasing its bytes."""
+        try:
+            evicted = target.pop(next(iter(target)), None)
+        except (StopIteration, RuntimeError):
+            return False
+        if evicted is not None:
+            bytes_box[0] -= evicted.nbytes
+        return evicted is not None
+
     def store(self, key: Hashable, entry: MemoEntry) -> None:
-        self._put_capped(self.entries, key, entry)
+        """Cache a result entry, enforcing the entry-count and byte budgets.
+
+        Sizing happens once per entry; an entry bigger than the whole byte
+        budget is not cached at all.  Both caps evict FIFO-oldest first and
+        are best-effort under the lock-free sharing rules of
+        :meth:`_put_capped`.  The dict and its byte box are read as one pair,
+        so accounting follows whichever snapshot this handle stores into.
+        """
+        if entry.nbytes == 0:
+            entry.nbytes = entry.estimated_bytes()
+        if self.max_bytes is not None and entry.nbytes > self.max_bytes:
+            return
+        target = self.entries
+        bytes_box = self.entry_bytes_box
+        try:
+            replaced = target.get(key)
+            if (
+                self.max_entries is not None
+                and replaced is None
+                and len(target) >= self.max_entries
+            ):
+                self._evict_oldest_entry(target, bytes_box)
+            target[key] = entry
+        except TypeError:  # unhashable key: silently not cached
+            return
+        bytes_box[0] += entry.nbytes - (replaced.nbytes if replaced else 0)
+        if self.max_bytes is not None:
+            while bytes_box[0] > self.max_bytes and len(target) > 1:
+                if not self._evict_oldest_entry(target, bytes_box):
+                    break
+                self.counters["byte_evictions"] += 1
 
     def peek(self, key: Hashable) -> Optional[MemoEntry]:
         """``lookup`` without touching the hit/miss counters."""
@@ -241,16 +324,27 @@ class ExecutionMemo:
         """
         self.entries = {}
         self.aux = {}
+        # A fresh box alongside the fresh dict: executions still pinned to
+        # the old snapshot keep accounting against the old box.
+        self.entry_bytes_box = [0]
         self.epoch = epoch
         self.counters["resets"] += 1
 
     @property
+    def entry_bytes(self) -> int:
+        """Estimated bytes held by the result-entry cache (best-effort)."""
+        return self.entry_bytes_box[0]
+
     def stats(self) -> Dict[str, int]:
+        """Point-in-time cache statistics (counts, hit/miss totals, bytes)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "aux_hits": self.aux_hits,
             "aux_misses": self.aux_misses,
             "entries": len(self.entries),
+            "entry_bytes": self.entry_bytes,
+            "byte_evictions": self.counters.get("byte_evictions", 0),
+            "aux_entries": len(self.aux),
             "resets": self.resets,
         }

@@ -32,6 +32,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.catalog import Catalog
+from repro.engine.columns import (
+    as_index_array,
+    gather,
+    np,
+    numeric_array,
+    python_values,
+)
 from repro.engine.config import DbConfig
 from repro.engine.executor.bufferpool import BufferPool
 from repro.engine.executor.executor import (
@@ -41,7 +48,7 @@ from repro.engine.executor.executor import (
 )
 from repro.engine.executor.memo import ExecutionMemo, MemoEntry
 from repro.engine.executor.metrics import RuntimeMetrics
-from repro.engine.expressions import ColumnRef, filter_positions
+from repro.engine.expressions import ColumnRef, conjunction_mask, filter_positions
 from repro.engine.plan.physical import PlanNode, PopType, Qgm
 from repro.engine.storage import TableData
 from repro.errors import PlanError
@@ -90,43 +97,66 @@ class Batch:
         return self.sel if self.sel is not None else range(self.length)
 
     def column(self, key: str) -> Sequence[Any]:
-        """Values of one column aligned with the batch (missing -> NULLs)."""
+        """Values of one column aligned with the batch (missing -> NULLs).
+
+        Typed backing columns gather through ndarray fancy indexing (an
+        ndarray comes back; numeric dtype implies null-free, ``object`` dtype
+        embeds ``None``); everything else falls back to the element-wise
+        Python gather.
+        """
         values = self.columns.get(key)
         if values is None:
             return [None] * self.length
         if self.sel is None:
             return values
-        return [values[i] for i in self.sel]
+        return gather(values, self.sel)
 
     def take(self, picks: Sequence[int]) -> "Batch":
         """A new batch holding the rows at batch-relative ``picks``."""
         if self.sel is not None:
             sel = self.sel
+            if np is not None and (
+                isinstance(sel, np.ndarray) or isinstance(picks, np.ndarray)
+            ):
+                return Batch(self.columns, as_index_array(sel)[as_index_array(picks)])
             return Batch(self.columns, [sel[p] for p in picks])
         return Batch(
-            {key: [values[p] for p in picks] for key, values in self.columns.items()},
+            {key: gather(values, picks) for key, values in self.columns.items()},
             None,
             len(picks),
         )
 
     def to_rows(self) -> List[Dict[str, Any]]:
-        """Materialize per-row dicts (same key order as the row engine)."""
+        """Materialize per-row dicts (same key order as the row engine).
+
+        This is a representation boundary: every value comes out as a plain
+        Python object (numpy scalars are converted), so result rows are
+        type-identical to the row engine's and JSON-serializable.
+        """
         if not self.columns:
             return [{} for _ in range(self.length)]
         keys = list(self.columns)
-        gathered = [self.column(key) for key in keys]
+        gathered = [python_values(self.columns[key], self.sel) for key in keys]
         return [dict(zip(keys, values)) for values in zip(*gathered)]
 
 
-def _gather_columns(batch: Batch, picks: Sequence[int]) -> Dict[str, List[Any]]:
+def _gather_columns(batch: Batch, picks: Sequence[int]) -> Dict[str, Sequence[Any]]:
     """Materialize every column of ``batch`` at batch-relative ``picks``."""
-    columns: Dict[str, List[Any]] = {}
+    columns: Dict[str, Sequence[Any]] = {}
     sel = batch.sel
+    if sel is None:
+        for key, values in batch.columns.items():
+            columns[key] = gather(values, picks)
+        return columns
+    if np is not None and (
+        isinstance(sel, np.ndarray) or isinstance(picks, np.ndarray)
+    ):
+        absolute = as_index_array(sel)[as_index_array(picks)]
+        for key, values in batch.columns.items():
+            columns[key] = gather(values, absolute)
+        return columns
     for key, values in batch.columns.items():
-        if sel is None:
-            columns[key] = [values[p] for p in picks]
-        else:
-            columns[key] = [values[sel[p]] for p in picks]
+        columns[key] = [values[sel[p]] for p in picks]
     return columns
 
 
@@ -140,6 +170,143 @@ def _merge_batches(
     columns = _gather_columns(outer, outer_picks)
     columns.update(_gather_columns(inner, inner_picks))
     return Batch(columns, None, len(outer_picks))
+
+
+def _cross_picks(outer_count: int, inner_count: int) -> Tuple[Sequence[int], Sequence[int]]:
+    """Cross-product pick vectors in (outer-major, build-order) row order."""
+    if np is not None:
+        outer_range = np.arange(outer_count, dtype=np.intp)
+        inner_range = np.arange(inner_count, dtype=np.intp)
+        return np.repeat(outer_range, inner_count), np.tile(inner_range, outer_count)
+    inner_range = range(inner_count)
+    outer_picks = [op for op in range(outer_count) for _ in inner_range]
+    inner_picks = list(inner_range) * outer_count
+    return outer_picks, inner_picks
+
+
+class _KeyGroups:
+    """Sorted grouping of a null-free numeric key column.
+
+    The vectorized analogue of the ``key -> [positions]`` build dict: a
+    stable argsort of the key column, unique keys with their ``[start, stop)``
+    slices into the sort order.  Within one key, ``order[start:stop]`` lists
+    the column's positions in ascending (= build/insertion) order, so probe
+    emission reproduces the dict path's match order exactly.
+    """
+
+    __slots__ = ("unique", "starts", "stops", "order")
+
+    def __init__(self, unique, starts, stops, order):
+        self.unique = unique
+        self.starts = starts
+        self.stops = stops
+        self.order = order
+
+
+def _build_key_groups(array: Any) -> _KeyGroups:
+    """Group a null-free numeric key array (see :class:`_KeyGroups`)."""
+    order = np.argsort(array, kind="stable")
+    sorted_values = array[order]
+    if len(sorted_values):
+        boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [len(sorted_values)]))
+        unique = sorted_values[starts]
+    else:
+        unique = sorted_values
+        starts = stops = np.zeros(0, dtype=np.intp)
+    return _KeyGroups(unique, starts, stops, order)
+
+
+def _vector_merge_join(
+    order_outer: Any, outer_runs: Tuple, order_inner: Any, inner_runs: Tuple
+) -> Tuple[Any, Any, int]:
+    """The run-merge loop as whole-array operations (no residual predicates).
+
+    Returns ``(outer_picks, inner_picks, cpu)`` bit-identical to the Python
+    two-pointer loop over equal-value runs: matched run pairs emit their
+    cross product in (outer sort order, inner sort order), the CPU charge is
+    one per matched pair plus the pair's row product plus the length of every
+    run the loop skipped.  The loop never reaches runs whose value exceeds
+    the other side's maximum -- mirrored here by the ``< last value`` guards.
+    Both key columns are null-free (numeric fast path), so the loop's
+    NULL-run drain never fires.
+    """
+    out_values, out_starts, out_stops = outer_runs
+    in_values, in_starts, in_stops = inner_runs
+    empty = np.zeros(0, dtype=np.intp)
+    if len(out_values) == 0 or len(in_values) == 0:
+        return empty, empty, 0
+    slots = np.searchsorted(in_values, out_values)
+    clipped = np.minimum(slots, len(in_values) - 1)
+    matched = in_values[clipped] == out_values
+    matched_outer = np.flatnonzero(matched)
+    matched_inner = clipped[matched_outer]
+    outer_lengths = out_stops - out_starts
+    inner_lengths = in_stops - in_starts
+    block_outer_lengths = outer_lengths[matched_outer]
+    block_inner_lengths = inner_lengths[matched_inner]
+    cpu = int(len(matched_outer))
+    cpu += int((block_outer_lengths * block_inner_lengths).sum())
+    skipped_outer = (~matched) & (out_values < in_values[-1])
+    cpu += int(outer_lengths[skipped_outer].sum())
+    inner_matched = np.zeros(len(in_values), dtype=bool)
+    inner_matched[matched_inner] = True
+    skipped_inner = (~inner_matched) & (in_values < out_values[-1])
+    cpu += int(inner_lengths[skipped_inner].sum())
+    if not len(matched_outer):
+        return empty, empty, cpu
+
+    # Outer emission: per matched block, each outer position repeated by the
+    # inner block's length, blocks concatenated in run (= value) order.
+    outer_counts = np.cumsum(block_outer_lengths)
+    outer_total = int(outer_counts[-1])
+    outer_within = np.arange(outer_total, dtype=np.intp) - np.repeat(
+        outer_counts - block_outer_lengths, block_outer_lengths
+    )
+    outer_elements = order_outer[
+        np.repeat(out_starts[matched_outer], block_outer_lengths) + outer_within
+    ]
+    outer_picks = np.repeat(
+        outer_elements, np.repeat(block_inner_lengths, block_outer_lengths)
+    )
+    # Inner emission: per matched block, the inner block tiled once per outer
+    # element -- position within the pair cross product modulo the block.
+    pair_counts = block_outer_lengths * block_inner_lengths
+    pair_ends = np.cumsum(pair_counts)
+    total = int(pair_ends[-1])
+    within = np.arange(total, dtype=np.intp) - np.repeat(
+        pair_ends - pair_counts, pair_counts
+    )
+    inner_index = np.repeat(in_starts[matched_inner], pair_counts) + (
+        within % np.repeat(block_inner_lengths, pair_counts)
+    )
+    inner_picks = order_inner[inner_index]
+    return outer_picks, inner_picks, cpu
+
+
+def _probe_key_groups(groups: _KeyGroups, probe: Any) -> Tuple[Any, Any, Any]:
+    """Match ``probe`` values against ``groups``.
+
+    Returns ``(found, outer_picks, inner_picks)``: a boolean per probe value,
+    and the emitted pick pairs ordered by probe position then build order --
+    bit-identical to probing the hash dict row by row.
+    """
+    if len(groups.unique) == 0 or len(probe) == 0:
+        empty = np.zeros(0, dtype=np.intp)
+        return np.zeros(len(probe), dtype=bool), empty, empty
+    slots = np.searchsorted(groups.unique, probe)
+    slots_clipped = np.minimum(slots, len(groups.unique) - 1)
+    found = groups.unique[slots_clipped] == probe
+    matched = np.flatnonzero(found)
+    group_ids = slots_clipped[matched]
+    sizes = groups.stops[group_ids] - groups.starts[group_ids]
+    total = int(sizes.sum())
+    outer_picks = np.repeat(matched, sizes)
+    ends = np.cumsum(sizes)
+    within = np.arange(total, dtype=np.intp) - np.repeat(ends - sizes, sizes)
+    inner_picks = groups.order[np.repeat(groups.starts[group_ids], sizes) + within]
+    return found, outer_picks, inner_picks
 
 
 class SubtreeKey:
@@ -207,16 +374,18 @@ class VectorizedExecutor:
         metrics = RuntimeMetrics()
         pool = BufferPool(self.config.buffer_pool_pages)
         batch = self._execute_node(qgm.root, metrics, pool, memo)
-        rows = batch.to_rows()
-        metrics.rows_returned = len(rows)
+        metrics.rows_returned = batch.length
         metrics.logical_reads = pool.logical_reads
         metrics.physical_reads = pool.physical_reads
         elapsed = metrics.elapsed_ms(self.config)
         cardinalities = {
             node.operator_id: int(node.actual_cardinality or 0) for node in qgm.nodes()
         }
+        # Rows are materialized lazily: plan measurement (the learning tier's
+        # dominant workload) ranks on metrics alone and never reads them.
         return ExecutionResult(
-            rows=rows,
+            rows_factory=batch.to_rows,
+            row_count=batch.length,
             metrics=metrics,
             elapsed_ms=elapsed,
             actual_cardinalities=cardinalities,
@@ -566,15 +735,41 @@ class VectorizedExecutor:
             cross_cpu = outer_batch.length * inner_batch.length
             metrics.cpu_operations += cross_cpu
             own_deltas.append(("cpu_operations", cross_cpu))
-            inner_range = range(inner_batch.length)
-            outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
-            inner_picks = list(inner_range) * outer_batch.length
+            outer_picks, inner_picks = _cross_picks(outer_batch.length, inner_batch.length)
             result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
             self._store_join_entry(memo, key, node, result, own_deltas)
             return result
 
-        hash_table = self._hash_build(inner_batch, node.inner, keys, memo)
         bloom_on = bool(node.properties.get("bloom_filter"))
+        if len(keys) == 1:
+            # Vectorized path: null-free numeric keys on both sides probe a
+            # sorted grouping with searchsorted instead of a dict per row.
+            groups = self._key_groups(inner_batch, node.inner, keys[0][1].key, memo)
+            probe = (
+                numeric_array(
+                    self._column_of(outer_batch, node.outer, keys[0][0].key, memo)
+                )
+                if groups is not None
+                else None
+            )
+            if groups is not None and probe is not None:
+                found, outer_picks, inner_picks = _probe_key_groups(groups, probe)
+                matched = int(found.sum())
+                if bloom_on:
+                    probed = matched
+                    bloomed = len(probe) - matched
+                else:
+                    probed = len(probe)
+                    bloomed = 0
+                metrics.hash_probe_rows += probed
+                metrics.bloom_filtered_rows += bloomed
+                own_deltas.append(("hash_probe_rows", probed))
+                own_deltas.append(("bloom_filtered_rows", bloomed))
+                result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+                self._store_join_entry(memo, key, node, result, own_deltas)
+                return result
+
+        hash_table = self._hash_build(inner_batch, node.inner, keys, memo)
         outer_picks: List[int] = []
         inner_picks: List[int] = []
         probed = 0
@@ -623,6 +818,39 @@ class VectorizedExecutor:
         self._store_join_entry(memo, key, node, result, own_deltas)
         return result
 
+    def _key_groups(
+        self,
+        batch: Batch,
+        node: PlanNode,
+        column_key: str,
+        memo: Optional[ExecutionMemo],
+    ) -> Optional[_KeyGroups]:
+        """Sorted key grouping of one join side (None = not vectorizable).
+
+        Only null-free numeric key columns group this way (NULL or object
+        columns keep the dict path, whose element-wise semantics are the
+        oracle).  Cached in the memo's aux store per memoized child + key:
+        the grouping is a pure function of the child's batch, exactly like
+        the hash-build dict it replaces.
+        """
+        if np is None:
+            return None
+        aux_key = None
+        if memo is not None:
+            child_key = self._memo_key(node)
+            if child_key is not None:
+                aux_key = ("kgroups", child_key, column_key)
+                cached = memo.aux_lookup(aux_key)
+                if cached is not None:
+                    return cached
+        array = numeric_array(self._column_of(batch, node, column_key, memo))
+        if array is None:
+            return None
+        groups = _build_key_groups(array)
+        if aux_key is not None:
+            memo.aux_store(aux_key, groups)
+        return groups
+
     def _hash_build(
         self,
         inner_batch: Batch,
@@ -664,9 +892,11 @@ class VectorizedExecutor:
         child: PlanNode,
         column_key: str,
         memo: Optional[ExecutionMemo],
-    ) -> Tuple[List[int], List[Any], List[Tuple[Any, int, int]]]:
+    ) -> Tuple[Sequence[int], Sequence[Any], List[Tuple[Any, int, int]], Optional[Tuple]]:
         """One merge-join input: (stable sort order, sorted key values, equal
-        runs as ``(value, start, end)`` over the sorted values).
+        runs as ``(value, start, end)`` over the sorted values, and -- for
+        null-free numeric keys -- the same runs as ``(values, starts, stops)``
+        arrays for the vectorized merge kernel, else None).
 
         Sort key mirrors the row engine: ``(is-NULL, value-or-0)``, so NULLs
         sort last.  Cached per memoized subtree + key column.
@@ -680,6 +910,27 @@ class VectorizedExecutor:
                 if cached is not None:
                     return cached
         values = self._column_of(batch, child, column_key, memo)
+        array = numeric_array(values)
+        if array is not None:
+            # Null-free numeric keys reuse the join kernels' run grouping:
+            # with no NULLs the (is-NULL, value) sort key degenerates to the
+            # value itself, so the stable argsort order is identical to the
+            # Python sort and the groups are exactly the equal-value runs.
+            groups = _build_key_groups(array)
+            order = groups.order
+            sorted_array = array[order]
+            vector = (groups.unique, groups.starts, groups.stops)
+            runs = list(
+                zip(
+                    groups.unique.tolist(),
+                    groups.starts.tolist(),
+                    groups.stops.tolist(),
+                )
+            )
+            result = (order, sorted_array, runs, vector)
+            if aux_key is not None:
+                memo.aux_store(aux_key, result)
+            return result
         order = sorted(
             range(len(values)),
             key=lambda p: (values[p] is None, values[p] if values[p] is not None else 0),
@@ -695,7 +946,7 @@ class VectorizedExecutor:
                 stop += 1
             runs.append((value, start, stop))
             start = stop
-        result = (order, sorted_values, runs)
+        result = (order, sorted_values, runs, None)
         if aux_key is not None:
             memo.aux_store(aux_key, result)
         return result
@@ -732,10 +983,10 @@ class VectorizedExecutor:
             raise PlanError("MSJOIN requires at least one equi-join predicate")
         outer_key, inner_key = keys[0]
 
-        order_outer, sorted_outer, runs_outer = self._merge_input(
+        order_outer, sorted_outer, runs_outer, vector_outer = self._merge_input(
             outer_batch, node.outer, outer_key.key, memo
         )
-        order_inner, sorted_inner, runs_inner = self._merge_input(
+        order_inner, sorted_inner, runs_inner, vector_inner = self._merge_input(
             inner_batch, node.inner, inner_key.key, memo
         )
 
@@ -746,6 +997,15 @@ class VectorizedExecutor:
             )
             for ok, ik in keys[1:]
         ]
+
+        if vector_outer is not None and vector_inner is not None and not residual_pairs:
+            outer_picks, inner_picks, cpu = _vector_merge_join(
+                order_outer, vector_outer, order_inner, vector_inner
+            )
+            metrics.cpu_operations += cpu
+            result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
+            self._store_join_entry(memo, key, node, result, [("cpu_operations", cpu)])
+            return result
 
         # Block-wise replay of the row engine's merge loop.  The row engine
         # charges one CPU operation per while-iteration: a single-row advance
@@ -831,32 +1091,49 @@ class VectorizedExecutor:
         # Re-scanning the inner for every outer row: charge the CPU for it.
         rescan_cpu = outer_batch.length * max(1, inner_batch.length)
         metrics.cpu_operations += rescan_cpu
-        outer_picks: List[int] = []
-        inner_picks: List[int] = []
+        outer_picks: Sequence[int] = []
+        inner_picks: Sequence[int] = []
+        vectorized_done = False
         if keys:
-            inner_map = self._nljoin_key_map(inner_batch, inner_node, keys, memo)
-            get = inner_map.get
             if len(keys) == 1:
-                outer_values = self._column_of(
-                    outer_batch, node.outer, keys[0][0].key, memo
+                # Null-free numeric keys on both sides behave identically in
+                # the NULL-matches-NULL key map (there are no NULLs), so the
+                # hash join's grouping kernel applies unchanged.
+                groups = self._key_groups(inner_batch, inner_node, keys[0][1].key, memo)
+                probe = (
+                    numeric_array(
+                        self._column_of(outer_batch, node.outer, keys[0][0].key, memo)
+                    )
+                    if groups is not None
+                    else None
                 )
-                for op in range(outer_batch.length):
-                    for ip in get(outer_values[op], ()):
-                        outer_picks.append(op)
-                        inner_picks.append(ip)
-            else:
-                outer_cols = [
-                    self._column_of(outer_batch, node.outer, ok.key, memo)
-                    for ok, _ in keys
-                ]
-                for op, value in enumerate(zip(*outer_cols)):
-                    for ip in get(value, ()):
-                        outer_picks.append(op)
-                        inner_picks.append(ip)
+                if groups is not None and probe is not None:
+                    _, outer_picks, inner_picks = _probe_key_groups(groups, probe)
+                    vectorized_done = True
+            if not vectorized_done:
+                outer_picks = []
+                inner_picks = []
+                inner_map = self._nljoin_key_map(inner_batch, inner_node, keys, memo)
+                get = inner_map.get
+                if len(keys) == 1:
+                    outer_values = self._column_of(
+                        outer_batch, node.outer, keys[0][0].key, memo
+                    )
+                    for op in range(outer_batch.length):
+                        for ip in get(outer_values[op], ()):
+                            outer_picks.append(op)
+                            inner_picks.append(ip)
+                else:
+                    outer_cols = [
+                        self._column_of(outer_batch, node.outer, ok.key, memo)
+                        for ok, _ in keys
+                    ]
+                    for op, value in enumerate(zip(*outer_cols)):
+                        for ip in get(value, ()):
+                            outer_picks.append(op)
+                            inner_picks.append(ip)
         else:
-            inner_range = range(inner_batch.length)
-            outer_picks = [op for op in range(outer_batch.length) for _ in inner_range]
-            inner_picks = list(inner_range) * outer_batch.length
+            outer_picks, inner_picks = _cross_picks(outer_batch.length, inner_batch.length)
         result = _merge_batches(outer_batch, outer_picks, inner_batch, inner_picks)
         self._store_join_entry(memo, key, node, result, [("cpu_operations", rescan_cpu)])
         return result
@@ -948,50 +1225,92 @@ class VectorizedExecutor:
             else:
                 value_cache = cached_values
 
-        inner_matched = 0
-        lookups = 0
-        processed = 0
-        trace_pages: List[int] = []
-        outer_picks: List[int] = []
-        inner_row_ids: List[int] = []
-        for op in range(outer_batch.length):
-            value = outer_values[op]
-            if value is None:
-                continue
-            lookups += 1
+        match_array = numeric_array(match_column) if match_column is not None else None
+
+        # One qualification mask over the whole inner table replaces the
+        # per-probe-value filter_positions call when every residual predicate
+        # vectorizes.  Built lazily on the first value-cache *miss*: with the
+        # memo-shared cache warm (a learning sweep re-probing the same inner
+        # scan across thousands of candidate plans) no execution should pay
+        # full-table predicate work it will never consume.
+        survivor_mask_box: List[Any] = []
+
+        def survivor_mask():
+            if not survivor_mask_box:
+                survivor_mask_box.append(conjunction_mask(predicates, inner_columns))
+            return survivor_mask_box[0]
+
+        def resolve_value(value) -> Tuple:
+            """(row count, pages, survivors) for one probe value (cached)."""
             cached = value_cache.get(value)
-            if cached is None:
-                if lookup_on_index:
-                    row_ids = index_data.lookup(value)
+            if cached is not None:
+                return cached
+            if lookup_on_index:
+                row_ids = index_data.lookup(value)
+            elif match_array is not None:
+                row_ids = np.flatnonzero(match_array == value).tolist()
+            else:
+                row_ids = [
+                    row_id
+                    for row_id in range(data.row_count)
+                    if match_column[row_id] == value
+                ]
+            if row_ids:
+                pages: Sequence[int] = [row_id // rows_per_page for row_id in row_ids]
+                mask = survivor_mask()
+                if mask is not None:
+                    ids = np.asarray(row_ids, dtype=np.intp)
+                    survivors: Sequence[int] = ids[mask[ids]]
                 else:
-                    row_ids = [
-                        row_id
-                        for row_id in range(data.row_count)
-                        if match_column[row_id] == value
-                    ]
-                if row_ids:
-                    pages = [row_id // rows_per_page for row_id in row_ids]
                     survivors = filter_positions(predicates, inner_columns, row_ids)
-                else:
-                    pages = survivors = ()
-                cached = (len(row_ids), pages, survivors)
-                value_cache[value] = cached
-            row_count, pages, survivors = cached
-            if not row_count:
-                continue
-            processed += row_count
-            trace_pages.extend(pages)
-            for row_id in survivors:
-                if all(
-                    outer_access(op, row_id) == inner_access(op, row_id)
-                    for outer_access, inner_access in residual_pairs
-                ):
-                    inner_matched += 1
-                    outer_picks.append(op)
-                    inner_row_ids.append(row_id)
+            else:
+                pages = survivors = ()
+            cached = (len(row_ids), pages, survivors)
+            value_cache[value] = cached
+            return cached
+
+        probe = numeric_array(outer_values) if not residual_pairs else None
+        if probe is not None:
+            # Vectorized probing: resolve each *distinct* key once, then
+            # expand lookups, page traces and surviving rows back to probe
+            # order -- emission and page-access sequence are exactly the
+            # per-row loop's (probe order, ascending row ids per value).
+            (
+                lookups,
+                processed,
+                trace_pages,
+                outer_picks,
+                inner_row_ids,
+            ) = self._nljoin_vector_probe(probe, resolve_value)
+            inner_matched = len(inner_row_ids)
+        else:
+            inner_matched = 0
+            lookups = 0
+            processed = 0
+            trace_pages: List[int] = []
+            outer_picks: List[int] = []
+            inner_row_ids: List[int] = []
+            for op in range(outer_batch.length):
+                value = outer_values[op]
+                if value is None:
+                    continue
+                lookups += 1
+                row_count, pages, survivors = resolve_value(value)
+                if not row_count:
+                    continue
+                processed += row_count
+                trace_pages.extend(pages)
+                for row_id in survivors:
+                    if all(
+                        outer_access(op, row_id) == inner_access(op, row_id)
+                        for outer_access, inner_access in residual_pairs
+                    ):
+                        inner_matched += 1
+                        outer_picks.append(op)
+                        inner_row_ids.append(row_id)
         # One batched access reproduces the per-row access sequence exactly
         # (the loop touches nothing else in the pool between rows).
-        if trace_pages:
+        if len(trace_pages):
             metrics.random_pages += pool.access_many(table, trace_pages)
         metrics.index_lookups += lookups
         metrics.rows_processed += processed
@@ -999,12 +1318,12 @@ class VectorizedExecutor:
 
         columns = _gather_columns(outer_batch, outer_picks)
         for key_name, values in inner_columns.items():
-            columns[key_name] = [values[row_id] for row_id in inner_row_ids]
+            columns[key_name] = gather(values, inner_row_ids)
         result = Batch(columns, None, len(outer_picks))
         # The per-outer-row page accesses replay as one "rand" run: the
         # concatenated page list drives the consuming plan's LRU through the
         # exact same sequence the loop above produced.
-        own_traces = (("rand", table, trace_pages),) if trace_pages else ()
+        own_traces = (("rand", table, trace_pages),) if len(trace_pages) else ()
         self._store_join_entry(
             memo,
             memo_key,
@@ -1014,6 +1333,60 @@ class VectorizedExecutor:
             own_traces,
         )
         return result
+
+    @staticmethod
+    def _nljoin_vector_probe(probe, resolve_value):
+        """Expand per-distinct-value lookup outcomes back to probe order.
+
+        ``probe`` is a null-free numeric key array; ``resolve_value`` returns
+        the cached ``(row count, pages, survivors)`` for one key.  Returns
+        ``(lookups, processed, trace_pages, outer_picks, inner_row_ids)``
+        where the trace and the emitted (outer position, inner row id) pairs
+        are ordered exactly as the per-row loop orders them: by outer
+        position, then by the value's page/survivor order.
+        """
+        empty = np.zeros(0, dtype=np.intp)
+        if not len(probe):
+            return 0, 0, empty, empty, empty
+        unique, inverse = np.unique(probe, return_inverse=True)
+        count = len(unique)
+        row_counts = np.empty(count, dtype=np.intp)
+        page_chunks: List[Any] = []
+        survivor_chunks: List[Any] = []
+        page_counts = np.empty(count, dtype=np.intp)
+        survivor_counts = np.empty(count, dtype=np.intp)
+        for position, value in enumerate(unique.tolist()):
+            row_count, pages, survivors = resolve_value(value)
+            row_counts[position] = row_count
+            pages = np.asarray(pages, dtype=np.intp)
+            survivors = np.asarray(survivors, dtype=np.intp)
+            page_chunks.append(pages)
+            survivor_chunks.append(survivors)
+            page_counts[position] = len(pages)
+            survivor_counts[position] = len(survivors)
+        lookups = len(probe)
+        processed = int(row_counts[inverse].sum())
+
+        def expand(chunks, counts):
+            """Concatenate per-value chunks in probe order (repeats included)."""
+            concat = np.concatenate(chunks) if chunks else empty
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            per_probe = counts[inverse]
+            total = int(per_probe.sum())
+            if not total:
+                return empty, per_probe
+            ends = np.cumsum(per_probe)
+            within = np.arange(total, dtype=np.intp) - np.repeat(
+                ends - per_probe, per_probe
+            )
+            return concat[np.repeat(offsets[inverse], per_probe) + within], per_probe
+
+        trace_pages, _ = expand(page_chunks, page_counts)
+        inner_row_ids, per_probe_survivors = expand(survivor_chunks, survivor_counts)
+        outer_picks = np.repeat(
+            np.arange(len(probe), dtype=np.intp), per_probe_survivors
+        )
+        return lookups, processed, trace_pages, outer_picks, inner_row_ids
 
     @staticmethod
     def _index_lookup_accessor(
@@ -1104,9 +1477,15 @@ class VectorizedExecutor:
             result = child_batch
         else:
             values = child_batch.column(sort_key.key)
-            order = sorted(
-                range(length), key=lambda p: (values[p] is None, values[p] or 0)
-            )
+            array = numeric_array(values)
+            if array is not None:
+                # Null-free numeric column: `(is-NULL, value or 0)` reduces
+                # to plain value order (0 maps to 0), stable either way.
+                order: Sequence[int] = np.argsort(array, kind="stable")
+            else:
+                order = sorted(
+                    range(length), key=lambda p: (values[p] is None, values[p] or 0)
+                )
             result = child_batch.take(order)
         if key is not None:
             child_entry = memo.peek(key[1])
@@ -1144,7 +1523,7 @@ class VectorizedExecutor:
 
         groups: Dict[Tuple, List[int]] = {}
         if keys:
-            key_columns = [child_batch.column(key.key) for key in keys]
+            key_columns = [self._python_column(child_batch, key.key) for key in keys]
             if len(key_columns) == 1:
                 column = key_columns[0]
                 for position in range(length):
@@ -1161,7 +1540,7 @@ class VectorizedExecutor:
             (
                 aggregate,
                 column,
-                child_batch.column(column.key) if column is not None else None,
+                self._python_column(child_batch, column.key) if column is not None else None,
             )
             for aggregate, column in aggregates
         ]
@@ -1177,6 +1556,19 @@ class VectorizedExecutor:
                 )
             out_rows.append(out_row)
         return Batch.from_rows(out_rows)
+
+    @staticmethod
+    def _python_column(batch: Batch, key: str) -> List[Any]:
+        """One batch column as plain Python values (representation boundary).
+
+        Group-by keys and aggregate inputs flow into result-row dicts, which
+        must be type-identical to the row engine's output (and serializable),
+        so numpy scalars are converted here rather than per emitted row.
+        """
+        values = batch.columns.get(key)
+        if values is None:
+            return [None] * batch.length
+        return python_values(values, batch.sel)
 
     @staticmethod
     def _aggregate_values(

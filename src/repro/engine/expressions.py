@@ -5,7 +5,7 @@ their selectivity) and the executor (which evaluates them against rows).
 Rows are dictionaries keyed by ``"<alias>.<column>"`` so the same expression
 evaluates correctly before and after joins.
 
-Two evaluation forms exist:
+Three evaluation forms exist:
 
 * :meth:`Predicate.evaluate` -- row-at-a-time, used by the legacy executor;
 * :func:`compile_predicate` -- compiles a predicate once into a column-wise
@@ -13,13 +13,26 @@ Two evaluation forms exist:
   vectorized executor.  Compiled predicates produce exactly the rows
   ``evaluate`` accepts (including the ``NULL``-rejects-everything and the
   mixed-type string-comparison fallback semantics of :class:`Comparison`, and
-  the left-to-right short-circuiting of :class:`And` / :class:`Or`).
+  the left-to-right short-circuiting of :class:`And` / :class:`Or`);
+* the same :class:`CompiledPredicate` additionally carries a **vectorized
+  mask form** when the predicate's shape allows it: comparisons, BETWEEN, IN
+  and IS NULL over numeric typed columns (and their AND/OR combinations)
+  evaluate as whole-array ufunc operations producing a boolean selection
+  mask over the backing arrays, which the filter then gathers at the given
+  positions.  The mask form is attempted first and silently declines --
+  per expression, at runtime -- whenever a referenced column has no typed
+  view (list backend, object dtype, missing column) or an operand is
+  non-numeric, falling back to the closure form.  Both forms accept exactly
+  the same rows in the same order; NULLs are excluded through the columns'
+  explicit null masks, mirroring the ``NULL``-rejects-everything rule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.columns import ColumnVector, as_index_array, np
 
 Row = Dict[str, Any]
 
@@ -256,23 +269,58 @@ def conjunction(predicates: Sequence[Predicate]) -> Optional[Predicate]:
 #: backing columns without materializing a dict per row.
 Columns = Mapping[str, Sequence[Any]]
 FilterFn = Callable[[Columns, Sequence[int]], List[int]]
+#: Vectorized form: full-length boolean qualification mask over the backing
+#: arrays, or None when a referenced column has no usable typed view.
+MaskFn = Callable[[Columns], Optional[Any]]
+
+#: Below this many candidate positions the closure path wins: the mask form
+#: always evaluates over the *full* backing arrays, which an index scan
+#: qualifying a handful of rows should not pay for.  Pure heuristic -- both
+#: forms accept identical rows.
+_MIN_MASK_POSITIONS = 32
 
 
 class CompiledPredicate:
     """A predicate compiled into a position-vector filter.
 
-    ``filter(columns, positions)`` returns the sub-list of ``positions`` whose
-    rows satisfy the predicate, preserving order.  A column key absent from
+    ``filter(columns, positions)`` returns the sub-sequence of ``positions``
+    whose rows satisfy the predicate, preserving order (an ndarray when the
+    vectorized mask form ran, a list otherwise).  A column key absent from
     ``columns`` behaves like an all-``NULL`` column, matching ``row.get``.
     """
 
-    __slots__ = ("predicate", "_filter")
+    __slots__ = ("predicate", "_filter", "_mask")
 
-    def __init__(self, predicate: Predicate, filter_fn: FilterFn):
+    def __init__(
+        self,
+        predicate: Predicate,
+        filter_fn: FilterFn,
+        mask_fn: Optional[MaskFn] = None,
+    ):
         self.predicate = predicate
         self._filter = filter_fn
+        self._mask = mask_fn
 
-    def filter(self, columns: Columns, positions: Sequence[int]) -> List[int]:
+    def mask(self, columns: Columns) -> Optional[Any]:
+        """Full-length boolean qualification mask, or None (not vectorizable).
+
+        Callers must treat the returned array as read-only: IS NULL masks may
+        alias a column's own null mask.
+        """
+        if self._mask is None or np is None:
+            return None
+        return self._mask(columns)
+
+    def filter(self, columns: Columns, positions: Sequence[int]) -> Sequence[int]:
+        if (
+            self._mask is not None
+            and np is not None
+            and len(positions) >= _MIN_MASK_POSITIONS
+        ):
+            mask = self._mask(columns)
+            if mask is not None:
+                index = as_index_array(positions)
+                return index[mask[index]]
         return self._filter(columns, positions)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -507,19 +555,199 @@ def _compile(predicate: Predicate) -> FilterFn:
     return _compile_fallback(predicate)
 
 
+# ---------------------------------------------------------------------------
+# Vectorized (whole-array mask) compilation
+# ---------------------------------------------------------------------------
+
+
+def _typed_view(values: Any) -> Optional[Tuple[Any, Optional[Any]]]:
+    """``(array, null mask)`` of a column, or None when it has no typed view.
+
+    Accepts the storage-backed :class:`~repro.engine.columns.ColumnVector`
+    (typed view + mask under the numpy backend) and raw non-object ndarrays
+    (executor-gathered columns, null-free by construction).
+    """
+    if isinstance(values, ColumnVector):
+        return values.arrays()
+    if np is not None and isinstance(values, np.ndarray) and values.dtype != object:
+        return values, None
+    return None
+
+
+def _is_vector_constant(value: Any) -> bool:
+    """Constants the ufunc path may compare against numeric columns.
+
+    Strings (and any other type) must keep the closure path so the
+    ``TypeError -> compare as str`` fallback semantics stay exact.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _non_null(mask: Any, nulls: Optional[Any]) -> Any:
+    return mask if nulls is None else mask & ~nulls
+
+
+def _mask_comparison(predicate: Comparison) -> Optional[MaskFn]:
+    op = _COMPARATORS[predicate.op]
+    left_key, left_const = _operand_key_or_const(predicate.left)
+    right_key, right_const = _operand_key_or_const(predicate.right)
+
+    if left_key is not None and right_key is not None:
+
+        def mask_col_col(columns: Columns) -> Optional[Any]:
+            left = _typed_view(columns.get(left_key))
+            right = _typed_view(columns.get(right_key))
+            if left is None or right is None:
+                return None
+            left_arr, left_nulls = left
+            right_arr, right_nulls = right
+            if left_arr.dtype == object or right_arr.dtype == object:
+                return None
+            return _non_null(_non_null(op(left_arr, right_arr), left_nulls), right_nulls)
+
+        return mask_col_col
+
+    key = left_key if left_key is not None else right_key
+    if key is None:
+        return None  # constant-only comparisons are already O(1) closures
+    const = right_const if left_key is not None else left_const
+    if not _is_vector_constant(const):
+        return None
+    flipped = left_key is None
+
+    def mask_col_const(columns: Columns) -> Optional[Any]:
+        pair = _typed_view(columns.get(key))
+        if pair is None:
+            return None
+        array, nulls = pair
+        if array.dtype == object:
+            return None
+        result = op(const, array) if flipped else op(array, const)
+        return _non_null(result, nulls)
+
+    return mask_col_const
+
+
+def _mask_between(predicate: Between) -> Optional[MaskFn]:
+    key = predicate.column.key
+    low, high = predicate.low.value, predicate.high.value
+    if not (_is_vector_constant(low) and _is_vector_constant(high)):
+        return None
+
+    def mask_between(columns: Columns) -> Optional[Any]:
+        pair = _typed_view(columns.get(key))
+        if pair is None:
+            return None
+        array, nulls = pair
+        if array.dtype == object:
+            return None
+        return _non_null((array >= low) & (array <= high), nulls)
+
+    return mask_between
+
+
+def _mask_in_list(predicate: InList) -> Optional[MaskFn]:
+    key = predicate.column.key
+    if not all(_is_vector_constant(value) for value in predicate.values):
+        return None
+    members = list(predicate.values)
+
+    def mask_in(columns: Columns) -> Optional[Any]:
+        pair = _typed_view(columns.get(key))
+        if pair is None:
+            return None
+        array, nulls = pair
+        if array.dtype == object:
+            return None
+        return _non_null(np.isin(array, members), nulls)
+
+    return mask_in
+
+
+def _mask_is_null(predicate: IsNull) -> MaskFn:
+    key = predicate.column.key
+    negated = predicate.negated
+
+    def mask_null(columns: Columns) -> Optional[Any]:
+        pair = _typed_view(columns.get(key))
+        if pair is None:
+            # Missing columns (all-NULL semantics) and untyped views both
+            # land here; the closure path distinguishes them.
+            return None
+        array, nulls = pair
+        if nulls is None:
+            nulls = np.zeros(len(array), dtype=bool)
+        # IS NULL works for object (string) columns too: the null mask is
+        # maintained independently of the value dtype.
+        return ~nulls if negated else nulls
+
+    return mask_null
+
+
+def _mask_connective(children: List[Optional[MaskFn]], conjunction_op: bool) -> Optional[MaskFn]:
+    if any(child is None for child in children):
+        return None
+
+    def mask_connective(columns: Columns) -> Optional[Any]:
+        result = None
+        for child in children:
+            mask = child(columns)
+            if mask is None:
+                return None
+            if result is None:
+                result = mask
+            elif conjunction_op:
+                result = result & mask
+            else:
+                result = result | mask
+        return result
+
+    return mask_connective
+
+
+def _compile_mask(predicate: Predicate) -> Optional[MaskFn]:
+    """Vectorized mask form of ``predicate`` (None = shape not vectorizable).
+
+    Unlike the closure form this can also *decline at runtime* (the returned
+    function yields None) when the columns it meets carry no typed view --
+    list backend, object dtype, missing column -- so one compiled predicate
+    serves every backend.
+    """
+    if np is None:
+        return None
+    if isinstance(predicate, Comparison):
+        return _mask_comparison(predicate)
+    if isinstance(predicate, Between):
+        return _mask_between(predicate)
+    if isinstance(predicate, InList):
+        return _mask_in_list(predicate)
+    if isinstance(predicate, IsNull):
+        return _mask_is_null(predicate)
+    if isinstance(predicate, And):
+        return _mask_connective([_compile_mask(child) for child in predicate.children], True)
+    if isinstance(predicate, Or):
+        return _mask_connective([_compile_mask(child) for child in predicate.children], False)
+    return None
+
+
 #: Predicates are immutable, so their compiled form is cached process-wide.
 _COMPILED_CACHE: Dict[Predicate, CompiledPredicate] = {}
 _COMPILED_CACHE_LIMIT = 4096
 
 
 def compile_predicate(predicate: Predicate) -> CompiledPredicate:
-    """Compile ``predicate`` into a column-wise filter (cached per predicate)."""
+    """Compile ``predicate`` into a column-wise filter (cached per predicate).
+
+    The compiled object carries both the closure form and, where the
+    predicate's shape allows, the vectorized mask form; ``filter`` picks per
+    call (see :class:`CompiledPredicate`).
+    """
     try:
         cached = _COMPILED_CACHE.get(predicate)
     except TypeError:  # unhashable predicate: compile without caching
-        return CompiledPredicate(predicate, _compile(predicate))
+        return CompiledPredicate(predicate, _compile(predicate), _compile_mask(predicate))
     if cached is None:
-        cached = CompiledPredicate(predicate, _compile(predicate))
+        cached = CompiledPredicate(predicate, _compile(predicate), _compile_mask(predicate))
         if len(_COMPILED_CACHE) >= _COMPILED_CACHE_LIMIT:
             _COMPILED_CACHE.clear()
         _COMPILED_CACHE[predicate] = cached
@@ -536,3 +764,25 @@ def filter_positions(
             break
         current = compile_predicate(predicate).filter(columns, current)
     return current
+
+
+def conjunction_mask(
+    predicates: Sequence[Predicate], columns: Columns
+) -> Optional[Any]:
+    """One boolean qualification mask for ANDed ``predicates`` over ``columns``.
+
+    Returns None when any predicate (or any column it touches) is not
+    vectorizable -- the caller then keeps the per-position
+    :func:`filter_positions` path.  Used by the executor's index-lookup
+    nested-loop join to qualify residual predicates once for the whole inner
+    table instead of once per probe value.
+    """
+    if np is None or not predicates:
+        return None
+    result = None
+    for predicate in predicates:
+        mask = compile_predicate(predicate).mask(columns)
+        if mask is None:
+            return None
+        result = mask if result is None else result & mask
+    return result

@@ -1,10 +1,18 @@
 """In-memory storage for table data.
 
-Rows are stored column-wise as plain Python lists (one list per column), which
-keeps scans and histogram construction fast while remaining easy to reason
-about.  Single-column hash indexes map a key value to the list of row positions
-holding it; a *cluster ratio* records how well the physical row order follows
-the index order, which the runtime simulator uses to model random-I/O flooding.
+Rows are stored column-wise as :class:`repro.engine.columns.ColumnVector`
+objects: a plain Python value list (the authoritative, sequence-compatible
+representation every existing caller sees) plus, under the ``"numpy"``
+column backend, a lazily built typed ndarray + null-mask view that the
+vectorized executor and predicate compiler consume directly.  Single-column
+hash indexes map a key value to the list of row positions holding it; a
+*cluster ratio* records how well the physical row order follows the index
+order, which the runtime simulator uses to model random-I/O flooding.
+
+Index builds and the cached sorted-key range probes use ``np.argsort`` /
+``np.searchsorted`` when the column has a clean numeric typed view; the
+bisect-over-Python-lists path remains both the fallback and the behavioral
+oracle -- entries, key order and returned row ids are identical.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.engine.columns import ColumnVector, np
 from repro.engine.config import DbConfig
 from repro.engine.schema import Index, TableSchema
 from repro.engine.types import coerce_value
@@ -23,14 +32,20 @@ from repro.errors import CatalogError
 class IndexData:
     """Materialized hash index: key value -> sorted list of row ids.
 
-    Range probes use a lazily built sorted key list (``bisect``) instead of
-    scanning every key; the list is invalidated whenever rows are inserted
-    (``TableData`` rebuilds the index entries).
+    Range probes use a lazily built sorted key list plus, when the keys are
+    numeric and numpy is active, a ``searchsorted``-ready cache of the keys
+    and their concatenated row ids; both are invalidated whenever rows are
+    inserted (``TableData`` appends to the index entries).
     """
 
     definition: Index
     entries: Dict[Any, List[int]] = field(default_factory=dict)
     _sorted_keys: Optional[List[Any]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: ``(keys ndarray, row-id offsets, concatenated row ids)`` aligned with
+    #: ``sorted_keys()``; built lazily for numeric keys, None otherwise.
+    _range_cache: Optional[tuple] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -40,6 +55,7 @@ class IndexData:
     def invalidate_sorted_keys(self) -> None:
         """Drop the cached key order (called after entries are rebuilt)."""
         self._sorted_keys = None
+        self._range_cache = None
 
     def sorted_keys(self) -> List[Any]:
         """Non-``NULL`` key values in ascending order (cached)."""
@@ -49,9 +65,52 @@ class IndexData:
             )
         return self._sorted_keys
 
+    def _build_range_cache(self) -> Optional[tuple]:
+        """``searchsorted`` probe cache for numeric keys (None = use bisect)."""
+        if np is None:
+            return None
+        keys = self.sorted_keys()
+        if not keys or not all(isinstance(key, (int, float)) for key in keys):
+            return None
+        try:
+            keys_array = np.asarray(keys)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        if keys_array.dtype == object:
+            return None
+        entries = self.entries
+        counts = np.fromiter(
+            (len(entries[key]) for key in keys), dtype=np.intp, count=len(keys)
+        )
+        offsets = np.zeros(len(keys) + 1, dtype=np.intp)
+        np.cumsum(counts, out=offsets[1:])
+        row_ids = np.fromiter(
+            (row_id for key in keys for row_id in entries[key]),
+            dtype=np.intp,
+            count=int(offsets[-1]),
+        )
+        return keys_array, offsets, row_ids
+
     def lookup_range(self, low: Any, high: Any) -> List[int]:
         """Return row ids whose key falls in ``[low, high]`` (inclusive)."""
         keys = self.sorted_keys()
+        if self._range_cache is None:
+            self._range_cache = self._build_range_cache() or ()
+        cache = self._range_cache
+        if cache:
+            keys_array, offsets, all_row_ids = cache
+            try:
+                start = 0 if low is None else int(np.searchsorted(keys_array, low, side="left"))
+                stop = (
+                    len(keys)
+                    if high is None
+                    else int(np.searchsorted(keys_array, high, side="right"))
+                )
+            except (TypeError, ValueError):
+                start = 0 if low is None else bisect_left(keys, low)
+                stop = len(keys) if high is None else bisect_right(keys, high)
+            selected = all_row_ids[offsets[start] : offsets[stop]]
+            return np.sort(selected).tolist()
         start = 0 if low is None else bisect_left(keys, low)
         stop = len(keys) if high is None else bisect_right(keys, high)
         row_ids: List[int] = []
@@ -77,8 +136,10 @@ class TableData:
     def __init__(self, schema: TableSchema, config: Optional[DbConfig] = None):
         self.schema = schema
         self.config = config or DbConfig()
-        self._columns: Dict[str, List[Any]] = {
-            column.name: [] for column in schema.columns
+        self.column_backend = self.config.resolved_column_backend()
+        self._columns: Dict[str, ColumnVector] = {
+            column.name: ColumnVector(column.data_type, self.column_backend)
+            for column in schema.columns
         }
         self._indexes: Dict[str, IndexData] = {}
         self._row_count = 0
@@ -92,7 +153,9 @@ class TableData:
         row id) pairs are appended, so a bulk load of N batches stays O(N
         rows) instead of the O(N^2) a per-batch full rebuild costs.  New row
         ids are strictly larger than every existing one, so appending keeps
-        each entry's row-id list sorted.
+        each entry's row-id list sorted.  Appending also invalidates each
+        touched column's typed-array view; it is rebuilt on the next
+        vectorized access.
         """
         first_new_row = self._row_count
         added = 0
@@ -116,11 +179,49 @@ class TableData:
         index_data.invalidate_sorted_keys()
 
     def _fill_index(self, index_data: IndexData) -> None:
-        index_data.entries = {}
         index_data.invalidate_sorted_keys()
         values = self._columns[index_data.definition.column]
-        for row_id, value in enumerate(values):
-            index_data.entries.setdefault(value, []).append(row_id)
+        entries = self._grouped_entries(values)
+        if entries is None:
+            entries = {}
+            for row_id, value in enumerate(values):
+                entries.setdefault(value, []).append(row_id)
+        index_data.entries = entries
+
+    @staticmethod
+    def _grouped_entries(values: ColumnVector) -> Optional[Dict[Any, List[int]]]:
+        """Value -> ascending row ids via ``argsort`` grouping (None = loop).
+
+        Only taken for numeric typed columns: keys come out as Python scalars
+        (``tolist``), per-key row ids ascend (stable sort), and NULL rows form
+        the ``None`` entry -- exactly what the element-wise build produces.
+        """
+        pair = values.arrays() if isinstance(values, ColumnVector) else None
+        if pair is None:
+            return None
+        array, mask = pair
+        if array.dtype == object:
+            return None
+        if mask is not None:
+            non_null = np.flatnonzero(~mask)
+            keyed = array[non_null]
+        else:
+            non_null = None
+            keyed = array
+        order = np.argsort(keyed, kind="stable")
+        sorted_ids = non_null[order] if non_null is not None else order
+        sorted_vals = keyed[order]
+        entries: Dict[Any, List[int]] = {}
+        if len(sorted_vals):
+            boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [len(sorted_vals)]))
+            keys = sorted_vals[starts].tolist()
+            for key, start, stop in zip(keys, starts, stops):
+                entries[key] = sorted_ids[start:stop].tolist()
+        if mask is not None:
+            entries[None] = np.flatnonzero(mask).tolist()
+        return entries
 
     def build_index(self, definition: Index) -> IndexData:
         if definition.column not in self._columns:
@@ -147,19 +248,20 @@ class TableData:
         )
         return max(1, -(-self._row_count // rows_per_page))
 
-    def column_values(self, column_name: str) -> List[Any]:
+    def column_values(self, column_name: str) -> ColumnVector:
         if column_name not in self._columns:
             raise CatalogError(
                 f"table {self.schema.name!r} has no column {column_name!r}"
             )
         return self._columns[column_name]
 
-    def column_arrays(self) -> Dict[str, List[Any]]:
-        """Column name -> backing value list, in schema order.
+    def column_arrays(self) -> Dict[str, ColumnVector]:
+        """Column name -> backing column vector, in schema order.
 
-        The returned mapping references the live storage arrays (no copy); the
-        vectorized executor reads them directly.  Callers must treat both the
-        mapping and the lists as read-only.
+        The returned mapping references the live storage columns (no copy);
+        the vectorized executor reads them directly -- element-wise through
+        the sequence protocol or wholesale through each vector's typed view.
+        Callers must treat both the mapping and the columns as read-only.
         """
         return self._columns
 

@@ -48,6 +48,10 @@ class ExperimentSettings:
     random_plans_per_subquery: int = 5
     max_variants: int = 2
     improvement_threshold: float = 0.15
+    #: Column storage backend for the built databases: ``None`` keeps the
+    #: engine default (``DbConfig.column_backend = "auto"``); the backend
+    #: benchmarks pin ``"numpy"`` / ``"list"`` explicitly.
+    column_backend: Optional[str] = None
 
     def learning_config(self) -> LearningConfig:
         return LearningConfig(
@@ -84,8 +88,17 @@ def build_bundle(
     query_count = (
         settings.tpcds_query_count if workload_name.startswith("tpc") else settings.client_query_count
     )
+    config = None
+    if settings.column_backend is not None:
+        from repro.engine.config import DbConfig
+
+        config = DbConfig(column_backend=settings.column_backend)
     workload = load_workload(
-        workload_name, scale=settings.scale, seed=settings.seed, query_count=query_count
+        workload_name,
+        scale=settings.scale,
+        seed=settings.seed,
+        query_count=query_count,
+        config=config,
     )
     galo = Galo(
         workload.database,

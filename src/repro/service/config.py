@@ -61,6 +61,15 @@ class ServiceConfig:
     #: (None = unbounded).  Eviction follows the cold/low-benefit-first policy
     #: of :meth:`repro.core.knowledge_base.KnowledgeBase.eviction_order`.
     kb_capacity: Optional[int] = None
+    #: Online KB checkpointing: with both fields set, the learner thread
+    #: snapshots the knowledge base (``knowledge_base.nt``,
+    #: ``template_index.json``, ``templates.json``) to
+    #: ``kb_checkpoint_directory`` at most every
+    #: ``kb_checkpoint_interval_seconds`` -- atomically (each file written to
+    #: a temp name and renamed) and only when the KB mutated since the last
+    #: save, so a quiet service does no disk work.  ``None`` disables.
+    kb_checkpoint_interval_seconds: Optional[float] = None
+    kb_checkpoint_directory: Optional[str] = None
     #: Workload name recorded on templates learned online.
     online_workload_name: str = "online"
 
@@ -81,3 +90,15 @@ class ServiceConfig:
             raise ValueError("regression_threshold must be >= 1.0")
         if self.kb_capacity is not None and self.kb_capacity < 0:
             raise ValueError("kb_capacity must be >= 0")
+        if (
+            self.kb_checkpoint_interval_seconds is not None
+            and self.kb_checkpoint_interval_seconds <= 0
+        ):
+            raise ValueError("kb_checkpoint_interval_seconds must be > 0")
+        if (
+            self.kb_checkpoint_interval_seconds is not None
+            and not self.kb_checkpoint_directory
+        ):
+            raise ValueError(
+                "kb_checkpoint_interval_seconds requires kb_checkpoint_directory"
+            )

@@ -7,7 +7,7 @@ event loop all report into one :class:`ServiceMetrics` instance.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 
 class ServiceMetrics:
@@ -120,3 +120,34 @@ class ServiceMetrics:
         if maximum is not None:
             out["latency_max_ms"] = maximum
         return out
+
+    #: Prefix for every exposed series (``galo_submitted``, ...).
+    PROMETHEUS_PREFIX = "galo_"
+
+    def render_prometheus(
+        self, extra_gauges: Optional[Mapping[str, float]] = None
+    ) -> str:
+        """``/metrics``-style plaintext rendering of :meth:`snapshot`.
+
+        One ``galo_<name> <value>`` sample per counter/summary stat, each
+        preceded by a ``# TYPE`` header (monotonic counters as ``counter``,
+        everything else -- latency stats and the caller-supplied
+        ``extra_gauges`` such as the execution memo's entry/byte totals -- as
+        ``gauge``), sorted by name so the output is diff-stable.  Ends with a
+        trailing newline as the exposition format requires.
+        """
+        with self._lock:
+            counter_names = set(self._counters)
+        samples = dict(self.snapshot())
+        if extra_gauges:
+            for name, value in extra_gauges.items():
+                samples[name] = value
+        lines: List[str] = []
+        for name in sorted(samples):
+            value = samples[name]
+            metric = self.PROMETHEUS_PREFIX + name
+            kind = "counter" if name in counter_names else "gauge"
+            lines.append(f"# TYPE {metric} {kind}")
+            rendered = repr(float(value)) if isinstance(value, float) else str(value)
+            lines.append(f"{metric} {rendered}")
+        return "\n".join(lines) + "\n"

@@ -109,6 +109,8 @@ class GaloService:
         self._template_sources: Dict[str, str] = {}
         #: Last background-learning failure, for operators ("" = none).
         self.last_learning_error = ""
+        #: Monotonic time of the last KB checkpoint attempt (learner thread).
+        self._last_kb_checkpoint = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -129,6 +131,7 @@ class GaloService:
         self._learning_queue = asyncio.Queue(maxsize=self.config.learning_queue_limit)
         self._idle_event = asyncio.Event()
         self._idle_event.set()
+        self._last_kb_checkpoint = time.monotonic()
         if self.config.learning_enabled:
             self._learner_task = asyncio.create_task(self._drain_learning_queue())
         self._stopping = False
@@ -153,6 +156,13 @@ class GaloService:
                 pass
             self._learner_task = None
         assert self._serve_pool is not None and self._learn_pool is not None
+        if self.config.kb_checkpoint_directory is not None:
+            # Final checkpoint on the way down (still on the learner thread,
+            # forced past the interval): online-learned templates survive a
+            # clean shutdown even when the timer has not fired yet.
+            await asyncio.get_running_loop().run_in_executor(
+                self._learn_pool, self._checkpoint_kb_sync, True
+            )
         self._serve_pool.shutdown(wait=True)
         self._learn_pool.shutdown(wait=True)
         self._serve_pool = None
@@ -268,6 +278,24 @@ class GaloService:
         """Wait until every queued background-learning task has completed."""
         if self._learning_queue is not None:
             await self._learning_queue.join()
+
+    def render_metrics(self) -> str:
+        """``/metrics``-style plaintext exposition of the service's state.
+
+        Service counters and latency stats from :class:`ServiceMetrics`, plus
+        gauges for the shared execution memo (entry count, estimated bytes,
+        hit/miss totals under the ``memo_`` prefix), the knowledge-base size
+        and the learning backlog.  Serve it from any HTTP framework as
+        ``text/plain``.
+        """
+        memo_stats = self.galo.database.workload_memo().stats()
+        gauges: Dict[str, float] = {
+            f"memo_{name}": value for name, value in memo_stats.items()
+        }
+        gauges["kb_templates"] = len(self.galo.knowledge_base)
+        gauges["pending_requests"] = self._pending
+        gauges["learning_backlog"] = self.learning_backlog
+        return self.metrics.render_prometheus(gauges)
 
     # -- internals -----------------------------------------------------------
 
@@ -388,8 +416,23 @@ class GaloService:
     async def _drain_learning_queue(self) -> None:
         """Background task: run queued learning work on the learner thread."""
         assert self._learning_queue is not None and self._loop is not None
+        interval = self.config.kb_checkpoint_interval_seconds
         while True:
-            task = await self._learning_queue.get()
+            if interval is None:
+                task = await self._learning_queue.get()
+            else:
+                # Wake at least once per checkpoint interval even when no
+                # learning work arrives: the timer must fire on a quiet
+                # service too (the dirty check makes an idle wake-up free).
+                try:
+                    task = await asyncio.wait_for(
+                        self._learning_queue.get(), timeout=interval
+                    )
+                except asyncio.TimeoutError:
+                    await self._loop.run_in_executor(
+                        self._learn_pool, self._checkpoint_kb_sync
+                    )
+                    continue
             # Idle-first: learning is GIL-bound CPU work that competes with
             # the serving workers, so prefer a window with no requests in
             # flight (the paper ran its learning tier during non-peak hours).
@@ -414,6 +457,10 @@ class GaloService:
                 self.feedback.forget(task.sql)
             finally:
                 self._learning_queue.task_done()
+            if interval is not None:
+                await self._loop.run_in_executor(
+                    self._learn_pool, self._checkpoint_kb_sync
+                )
             # Duty-cycle pacing, applied only when the task overlapped
             # foreground traffic (at its start or its end): sleeping (which
             # releases the GIL) for the complementary share of the task's
@@ -432,6 +479,32 @@ class GaloService:
                 # is cut short the instant the service goes idle (an idle
                 # window has nothing to protect).
                 await self._wait_for_idle(pause)
+
+    def _checkpoint_kb_sync(self, force: bool = False) -> None:
+        """Snapshot the KB to disk if due and dirty (learner thread only).
+
+        Atomicity comes from :meth:`KnowledgeBase.save` (per-file temp +
+        rename, registry last as the commit point); this method adds the
+        interval pacing and the dirty check, so a quiet service performs no
+        disk writes.  ``force`` (shutdown) skips the interval, not the dirty
+        check.
+        """
+        directory = self.config.kb_checkpoint_directory
+        interval = self.config.kb_checkpoint_interval_seconds
+        if directory is None:
+            return
+        now = time.monotonic()
+        if not force and (interval is None or now - self._last_kb_checkpoint < interval):
+            return
+        self._last_kb_checkpoint = now
+        if not self.galo.knowledge_base.dirty:
+            return
+        try:
+            self.galo.knowledge_base.save(directory)
+            self.metrics.increment("kb_checkpoints")
+        except OSError as exc:  # pragma: no cover - disk trouble must not kill learning
+            self.metrics.increment("kb_checkpoint_failures")
+            self.last_learning_error = f"kb checkpoint: {type(exc).__name__}: {exc}"
 
     def _learn_sync(self, task: LearningTask) -> None:
         """One background learning step + KB capacity enforcement (learner thread)."""

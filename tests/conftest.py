@@ -39,9 +39,11 @@ from repro.engine.types import DataType
 CATEGORIES = ["Music", "Jewelry", "Books", "Sports", "Home"]
 
 
-def build_mini_database(seed: int = 0, sales_rows: int = 8000) -> Database:
+def build_mini_database(
+    seed: int = 0, sales_rows: int = 8000, config: DbConfig = None
+) -> Database:
     """A 4-table star schema: SALES fact plus ITEM / DATE_DIM / OUTLET dims."""
-    db = Database(config=DbConfig())
+    db = Database(config=config or DbConfig())
     db.create_table(
         make_schema(
             "ITEM",

@@ -82,7 +82,7 @@ class TestMiniDifferential:
         # The candidate plan set re-scans the same tables: the memo must
         # actually share subtrees, not just stay out of the way.
         assert memo.hits > 0
-        assert memo.stats["entries"] > 0
+        assert memo.stats()["entries"] > 0
 
     def test_annotates_plan_nodes(self, mini_db):
         qgm = mini_db.explain(MINI_SQLS[3])
