@@ -235,6 +235,119 @@ def test_exp1_columnar_backend_speedup(benchmark, settings):
         assert speedup >= 1.5, f"numpy backend only {speedup:.2f}x faster"
 
 
+#: Group-by-dominated sweep: single-table scans with the full aggregate
+#: battery over numeric keys (the argsort kernel's home turf).  The cold bar
+#: is measured here, where the group-by operator is the dominant cost.
+GROUPBY_SWEEP_SQLS = [
+    "SELECT ss_item_sk, COUNT(*), SUM(ss_quantity), AVG(ss_sales_price), "
+    "MIN(ss_net_profit), MAX(ss_net_profit) FROM store_sales GROUP BY ss_item_sk",
+    "SELECT ss_sold_date_sk, SUM(ss_sales_price), COUNT(*) FROM store_sales "
+    "GROUP BY ss_sold_date_sk",
+    "SELECT ss_quantity, COUNT(*), SUM(ss_sales_price), AVG(ss_net_profit), "
+    "MIN(ss_net_profit), MAX(ss_net_profit) FROM store_sales GROUP BY ss_quantity",
+]
+
+#: Heavier shapes that ride along for coverage (rows must still be identical)
+#: and join the *warm* measurement, where the memo replays their scans and
+#: joins and the group-by dominates what is recomputed: a two-key grouping
+#: with group counts near the row count, and a join feeding a grouping.
+GROUPBY_WARM_EXTRA_SQLS = [
+    "SELECT ss_item_sk, ss_sold_date_sk, SUM(ss_quantity) FROM store_sales "
+    "GROUP BY ss_item_sk, ss_sold_date_sk",
+    "SELECT d_year, AVG(ss_net_profit) FROM store_sales, date_dim "
+    "WHERE ss_sold_date_sk = d_date_sk GROUP BY d_year",
+]
+
+
+def test_exp1_groupby_kernel_speedup(benchmark, settings):
+    """Group-by-dominated plan sweep: argsort-run kernel vs the per-row loop.
+
+    Two identically seeded databases differing only in
+    ``DbConfig.groupby_kernel`` execute the same optimizer + random plans,
+    cold and again against a warm workload memo (where scans and joins replay
+    from the memo and the group-by operator dominates what is recomputed).
+    Rows must be identical plan-for-plan.  Acceptance bars: >= 1.5x on the
+    cold sweep, >= 1.3x on the memo-warm replay; tiny mode asserts equality
+    only.  Skips without numpy (the kernel cannot engage).
+    """
+    from repro.engine.columns import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed; the group-by kernel cannot engage")
+
+    import dataclasses
+
+    def build(kernel):
+        bundle = build_bundle(
+            "tpcds", dataclasses.replace(settings, groupby_kernel=kernel)
+        )
+        return bundle.workload.database
+
+    def sweep(database, memo, sqls):
+        rows = []
+        seconds = 0.0
+        for sql in sqls:
+            plans = [database.explain(sql)]
+            plans += database.random_plans(sql, settings.random_plans_per_subquery)
+            for qgm in plans:
+                started = time.perf_counter()
+                result = database.execute_plan(qgm, memo=memo)
+                seconds += time.perf_counter() - started
+                rows.append(result.rows)
+        return seconds, rows
+
+    all_sqls = GROUPBY_SWEEP_SQLS + GROUPBY_WARM_EXTRA_SQLS
+    db_on = build(True)
+    db_off = build(False)
+    assert db_on.config.resolved_groupby_kernel()
+    assert not db_off.config.resolved_groupby_kernel()
+
+    measured = {}
+
+    def kernel_cold_sweep():
+        seconds, rows = sweep(db_on, memo=None, sqls=GROUPBY_SWEEP_SQLS)
+        measured["cold_seconds"] = seconds
+        return rows
+
+    # The kernel run goes first: warm-up it pays for (typed views, sorted
+    # index keys, imports) then benefits the loop baseline, biasing the
+    # measured ratio *against* the bars, never for it.
+    on_rows = benchmark.pedantic(kernel_cold_sweep, rounds=1, iterations=1)
+    off_seconds, off_rows = sweep(db_off, memo=None, sqls=GROUPBY_SWEEP_SQLS)
+    assert on_rows == off_rows, "kernel and loop sweeps must return identical rows"
+    # The heavier shapes ride along cold (untimed) for row-level coverage.
+    _, on_extra = sweep(db_on, memo=None, sqls=GROUPBY_WARM_EXTRA_SQLS)
+    _, off_extra = sweep(db_off, memo=None, sqls=GROUPBY_WARM_EXTRA_SQLS)
+    assert on_extra == off_extra
+
+    # Memo-warm replay over the full set: one warming sweep populates each
+    # database's workload memo; the replay then recomputes essentially only
+    # the group-bys (scans and joins come back as memo hits).
+    sweep(db_on, memo=db_on.workload_memo(), sqls=all_sqls)
+    sweep(db_off, memo=db_off.workload_memo(), sqls=all_sqls)
+    on_warm_seconds, on_warm_rows = sweep(db_on, memo=db_on.workload_memo(), sqls=all_sqls)
+    off_warm_seconds, off_warm_rows = sweep(db_off, memo=db_off.workload_memo(), sqls=all_sqls)
+    assert on_warm_rows == off_warm_rows == on_rows + on_extra
+
+    cold_speedup = off_seconds / max(measured["cold_seconds"], 1e-9)
+    warm_speedup = off_warm_seconds / max(on_warm_seconds, 1e-9)
+    benchmark.extra_info["groupby_kernel"] = "on-vs-off"
+    benchmark.extra_info["kernel_cold_seconds"] = measured["cold_seconds"]
+    benchmark.extra_info["loop_cold_seconds"] = off_seconds
+    benchmark.extra_info["cold_speedup"] = cold_speedup
+    benchmark.extra_info["kernel_warm_seconds"] = on_warm_seconds
+    benchmark.extra_info["loop_warm_seconds"] = off_warm_seconds
+    benchmark.extra_info["warm_speedup"] = warm_speedup
+    benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
+    if not bench_tiny_mode():
+        assert cold_speedup >= 1.5, (
+            f"group-by kernel only {cold_speedup:.2f}x on the cold sweep"
+        )
+        assert warm_speedup >= 1.3, (
+            f"group-by kernel only {warm_speedup:.2f}x on the memo-warm replay"
+        )
+
+
 def test_exp1_effectiveness_templates_and_improvement(benchmark, tpcds_bundle):
     """Exp-1 effectiveness: templates learned and their average improvement."""
     report = tpcds_bundle.learning_report

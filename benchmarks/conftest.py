@@ -55,27 +55,48 @@ def bench_column_backend() -> str:
     return os.environ.get("GALO_BENCH_COLUMN_BACKEND", "").strip() or "auto"
 
 
+def bench_groupby_kernel() -> bool:
+    """Group-by kernel toggle for the bench session.
+
+    ``GALO_BENCH_GROUPBY_KERNEL=0`` pins the per-row loop (the CI smoke job
+    runs one leg this way); unset/anything else keeps the kernel on.
+    """
+    return os.environ.get("GALO_BENCH_GROUPBY_KERNEL", "").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+    )
+
+
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     chosen = TINY_SETTINGS if bench_tiny_mode() else BENCH_SETTINGS
     backend = bench_column_backend()
     if backend != "auto":
         chosen = dataclasses.replace(chosen, column_backend=backend)
+    if not bench_groupby_kernel():
+        chosen = dataclasses.replace(chosen, groupby_kernel=False)
     return chosen
 
 
 @pytest.fixture(autouse=True)
-def record_column_backend(request):
-    """Stamp every benchmark's JSON record with the resolved column backend."""
+def record_engine_config(request):
+    """Stamp every benchmark's JSON record with the resolved column backend
+    and group-by kernel flag, so perf trajectories are comparable per leg."""
     yield
     benchmark = request.node.funcargs.get("benchmark") if hasattr(request.node, "funcargs") else None
-    if benchmark is not None and "column_backend" not in benchmark.extra_info:
-        from repro.engine.config import DbConfig
+    if benchmark is None:
+        return
+    from repro.engine.config import DbConfig
 
-        backend = bench_column_backend()
-        benchmark.extra_info["column_backend"] = (
-            DbConfig(column_backend=backend).resolved_column_backend()
-        )
+    config = DbConfig(
+        column_backend=bench_column_backend(),
+        groupby_kernel=bench_groupby_kernel(),
+    )
+    if "column_backend" not in benchmark.extra_info:
+        benchmark.extra_info["column_backend"] = config.resolved_column_backend()
+    if "groupby_kernel" not in benchmark.extra_info:
+        benchmark.extra_info["groupby_kernel"] = config.resolved_groupby_kernel()
 
 
 @pytest.fixture(scope="session")

@@ -18,10 +18,13 @@ exposes a lazily built **typed view** via :meth:`ColumnVector.arrays`:
 
 The typed view is what the vectorized predicate path
 (:func:`repro.engine.expressions.compile_predicate`) and the batch executor's
-gather/join/sort kernels consume.  It is a cache over the authoritative
-Python value list: appends invalidate it, the next vectorized access rebuilds
-it.  Loads happen once, scans happen thousands of times per learning sweep,
-so the rebuild cost is amortized away.
+gather/join/sort/group-by kernels consume.  It is a cache over the
+authoritative Python value list: appends invalidate it, the next vectorized
+access rebuilds it.  Loads happen once, scans happen thousands of times per
+learning sweep, so the rebuild cost is amortized away.  Lifetime tracks
+*storage*, not statistics: RUNSTATS reads columns but never mutates them, so
+a stats-only epoch bump (see ``Database.invalidate_plan_cache``) leaves
+typed views -- like index sort caches and memoized gathers -- intact.
 
 Representation invariant for gathered (executor-internal) columns: a **typed
 (non-object) ndarray never contains NULLs** -- :func:`gather` widens to an

@@ -72,6 +72,14 @@ class DbConfig:
     #: see :mod:`repro.engine.columns`.
     column_backend: str = "auto"
 
+    #: Vectorized group-by kernel: when True (default) the batch executor
+    #: aggregates over argsort-grouped runs of typed key columns instead of
+    #: the per-row ``setdefault`` loop.  Exists as a knob so the benchmarks
+    #: can measure the kernel against the loop; both paths are bit-identical
+    #: (the kernel declines to the loop for object/NULL/NaN keys and for the
+    #: list column backend).
+    groupby_kernel: bool = True
+
     # --- optimizer cost model (timerons) ---
     opt_seq_page_cost: float = 1.0
     opt_rand_page_cost: float = 4.0
@@ -110,6 +118,15 @@ class DbConfig:
         from repro.engine.columns import resolve_backend
 
         return resolve_backend(self.column_backend)
+
+    def resolved_groupby_kernel(self) -> bool:
+        """Whether the vectorized group-by kernel can actually engage.
+
+        True only when the knob is on *and* the resolved column backend is
+        ``"numpy"`` -- list-backed columns never produce the typed arrays the
+        kernel requires, so it declines to the loop on every expression.
+        """
+        return bool(self.groupby_kernel) and self.resolved_column_backend() == "numpy"
 
 
 DEFAULT_CONFIG = DbConfig()

@@ -61,10 +61,16 @@ class Database:
         # re-optimization replans recurring statements constantly.  Keyed by
         # (sql, guideline xml); invalidated whenever DDL or statistics change.
         self._explain_cache = LruCache(self.EXPLAIN_CACHE_SIZE)
-        # Data epoch: bumped by every DDL / data-load / RUNSTATS event (the
-        # same events that clear the plan cache).  The workload-scoped
-        # execution memo is stamped with it and lazily reset when it moves.
-        self._data_epoch = 0
+        # Two invalidation epochs, split by what an event can actually stale:
+        # the *storage* epoch moves on DDL and data loads (anything that
+        # changes positions, column values or page layouts) and keys the
+        # workload execution memo -- entries, gathered aux columns, join
+        # build/sort caches are pure functions of storage.  The *statistics*
+        # epoch additionally moves on RUNSTATS, which changes only the cost
+        # model's inputs: cached plans must go, but ColumnVector typed views,
+        # index sort caches and every memo payload stay valid and are kept.
+        self._storage_epoch = 0
+        self._stats_epoch = 0
         self._workload_memo = ExecutionMemo(
             epoch=0,
             max_entries=self.WORKLOAD_MEMO_MAX_ENTRIES,
@@ -89,23 +95,41 @@ class Database:
 
     def runstats(self, table: str) -> TableStatistics:
         stats = self.catalog.runstats(table)
-        self.invalidate_plan_cache()
+        self.invalidate_plan_cache(stats_only=True)
+        stats.collected_epoch = self._stats_epoch
         return stats
 
-    def invalidate_plan_cache(self) -> None:
+    def invalidate_plan_cache(self, stats_only: bool = False) -> None:
         """Drop cached plans (called on any DDL / data / statistics change).
 
-        Also advances the data epoch, which invalidates the workload-scoped
-        execution memo: cached subtree results are only ever valid against the
-        exact table data they were computed from.
+        Every invalidation advances the statistics epoch (cached plans embed
+        cost estimates, so they go on both kinds of change).  Unless
+        ``stats_only`` (RUNSTATS -- it touches nothing in storage), the
+        storage epoch advances too, which resets the workload-scoped
+        execution memo: cached subtree results are only ever valid against
+        the exact table data they were computed from.  A stats-only bump
+        deliberately leaves the memo -- and with it the gathered aux columns,
+        join build/sort caches and typed views it holds -- untouched.
         """
         self._explain_cache.clear()
-        self._data_epoch += 1
+        self._stats_epoch += 1
+        if not stats_only:
+            self._storage_epoch += 1
 
     @property
     def data_epoch(self) -> int:
-        """Monotonic counter of DDL / data / statistics changes."""
-        return self._data_epoch
+        """Monotonic counter of DDL / data / statistics changes (both kinds)."""
+        return self._storage_epoch + self._stats_epoch
+
+    @property
+    def storage_epoch(self) -> int:
+        """Monotonic counter of DDL / data-load events (keys the memo)."""
+        return self._storage_epoch
+
+    @property
+    def stats_epoch(self) -> int:
+        """Monotonic counter of plan-cache invalidations (keys cost caches)."""
+        return self._stats_epoch
 
     def workload_memo(self) -> ExecutionMemo:
         """The shared workload-scoped execution memo, epoch-validated.
@@ -113,17 +137,19 @@ class Database:
         One memo instance serves every plan evaluation against this database
         -- all ``learn_query`` calls of a workload sweep, the online tier's
         steered-vs-baseline measurements, and the serving layer -- so repeated
-        sub-plans are executed once per data epoch, not once per query.  The
-        memo is reset (under a lock, at most once per epoch change) whenever
-        DDL, data loads or RUNSTATS have bumped :attr:`data_epoch`; the
-        cold-charge accounting rule keeps results bit-identical to memo-less
-        execution, so sharing is always safe.
+        sub-plans are executed once per *storage* epoch, not once per query.
+        The memo is reset (under a lock, at most once per epoch change)
+        whenever DDL or data loads have bumped :attr:`storage_epoch`; RUNSTATS
+        does not reset it -- entries and aux caches are pure functions of
+        storage, and statistics only steer the optimizer.  The cold-charge
+        accounting rule keeps results bit-identical to memo-less execution,
+        so sharing is always safe.
         """
         memo = self._workload_memo
-        if memo.epoch != self._data_epoch:
+        if memo.epoch != self._storage_epoch:
             with self._memo_lock:
-                if memo.epoch != self._data_epoch:
-                    memo.reset(epoch=self._data_epoch)
+                if memo.epoch != self._storage_epoch:
+                    memo.reset(epoch=self._storage_epoch)
         return memo
 
     @property

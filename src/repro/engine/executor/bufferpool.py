@@ -5,12 +5,30 @@ poorly clustered data touch pages in key order rather than physical order;
 when the working set exceeds the pool, pages are evicted and re-read -- the
 "flooding" problem behind the paper's Figure 4 pattern.  Logical and physical
 read counts feed the simulated elapsed time.
+
+Page-access *traces* (what the vectorized executor and the memo's trace
+replay feed through :meth:`BufferPool.access_many`) are replayed with array
+ops whenever no eviction can occur: if the resident set plus the trace's
+distinct pages fit the capacity, the per-access outcome is fully determined
+by last-occurrence order and set membership, so the per-page LRU loop is
+skipped.  Traces that may evict fall back to the loop, which is the oracle
+(:meth:`access` is its per-page form); the differential property tests in
+``tests/property`` pin the two paths together.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Tuple
+from typing import Tuple
+
+from repro.engine.columns import np
+
+#: Traces shorter than this replay through the plain loop: below a few dozen
+#: pages the ndarray round trip costs more than it saves.
+_VECTOR_MIN_PAGES = 32
+
+#: Sentinel distinguishing "not resident" from the stored value (None).
+_ABSENT = object()
 
 
 class BufferPool:
@@ -57,10 +75,16 @@ class BufferPool:
     def access_many(self, table: str, pages) -> int:
         """Touch ``pages`` in order; returns the number of misses.
 
-        Semantically identical to calling :meth:`access` per page, with the
-        LRU bookkeeping inlined -- the vectorized executor and the memo's
-        trace replay drive millions of accesses through this path.
+        Semantically identical to calling :meth:`access` per page.  Traces
+        that provably cannot evict replay through :meth:`_access_many_array`
+        (hit/miss counts and the final LRU order from last-occurrence
+        accounting); everything else takes the inlined per-page loop -- the
+        oracle the array path is validated against.
         """
+        if np is not None:
+            misses = self._access_many_array(table, pages)
+            if misses is not None:
+                return misses
         resident = self._pages
         capacity = self.capacity
         popitem = resident.popitem
@@ -78,6 +102,46 @@ class BufferPool:
                 if len(resident) > capacity:
                     popitem(last=False)
         self.logical_reads += touched
+        self.physical_reads += misses
+        return misses
+
+    def _access_many_array(self, table: str, pages) -> "int | None":
+        """Replay a trace with array ops when no eviction is possible.
+
+        Decline (return None) unless ``len(resident) + len(distinct pages)``
+        fits the capacity: under that bound the oracle never evicts, so each
+        distinct non-resident page misses exactly once (its first touch),
+        every other access hits, and the final LRU order is the untouched
+        residents (original relative order) followed by the touched pages in
+        last-occurrence order -- a pop + reinsert per *distinct* page instead
+        of a bookkeeping step per *access*.
+        """
+        try:
+            count = len(pages)
+        except TypeError:
+            return None
+        if count < _VECTOR_MIN_PAGES:
+            return None
+        array = pages if isinstance(pages, np.ndarray) else np.asarray(pages)
+        if array.dtype == object:
+            return None
+        # ``unique`` over the reversed trace: ``reversed_first[j]`` is the
+        # first occurrence of ``distinct[j]`` in the reversed trace, i.e. its
+        # *last* occurrence in the forward trace (negated rank).
+        distinct, reversed_first = np.unique(array[::-1], return_index=True)
+        resident = self._pages
+        if len(resident) + distinct.size > self.capacity:
+            return None
+        pop = resident.pop
+        misses = 0
+        # Ascending last-occurrence order = descending first-occurrence
+        # position in the reversed trace.
+        for page in distinct[np.argsort(-reversed_first, kind="stable")].tolist():
+            key = (table, page)
+            if pop(key, _ABSENT) is _ABSENT:
+                misses += 1
+            resident[key] = None
+        self.logical_reads += count
         self.physical_reads += misses
         return misses
 

@@ -523,6 +523,18 @@ class Executor:
         keys: Tuple[ColumnRef, ...] = tuple(node.properties.get("group_by") or ())
         aggregates = tuple(node.properties.get("aggregates") or ())
 
+        if rows:
+            # An aggregate referencing a column its input does not produce is
+            # a planner bug; surface it instead of aggregating silent NULLs
+            # (``row.get`` would).  Group *keys* keep the NULL-fill semantics.
+            available = rows[0]
+            for aggregate, column in aggregates:
+                if column is not None and column.key not in available:
+                    raise PlanError(
+                        f"aggregate {aggregate}({column.key}) references a column "
+                        f"missing from the grouped input"
+                    )
+
         groups: Dict[Tuple, List[Row]] = {}
         for row in rows:
             group_key = tuple(row.get(key.key) for key in keys)

@@ -16,9 +16,12 @@ Database.workload_memo` hands out one shared instance used by every
 ``learn_query`` call of a workload sweep, by the online tier's plan
 measurement, and by the serving layer -- sub-queries repeat across workload
 queries, not just within one.  The instance is stamped with the database's
-*data epoch* and lazily swapped for a fresh one whenever DDL, data loads or
-RUNSTATS bump the epoch (the same events that invalidate the plan cache), so
-entries can never outlive the table data they were computed from.  Entries
+*storage epoch* and lazily swapped for a fresh one whenever DDL or data
+loads bump that epoch.  RUNSTATS deliberately does not: it bumps only the
+statistics epoch (cost model inputs / plan cache), while every memo payload
+-- result entries, gathered aux columns, join build and sort caches -- is a
+pure function of storage and stays valid.  Entries therefore never outlive
+the table data they were computed from, and survive re-collections.  Entries
 are immutable once stored and the dicts are only ever replaced wholesale on
 reset, which makes concurrent readers (parallel re-optimization workers,
 serving threads) safe without a lock.
@@ -128,9 +131,10 @@ class ExecutionMemo:
 
     Valid only while the underlying table data is unchanged.  The workload
     scope (obtained from :meth:`repro.engine.database.Database.workload_memo`)
-    stamps ``epoch`` with the database's data epoch and resets the memo when
-    the epoch moves; short-lived callers may still create a private instance
-    per plan-evaluation sweep and discard it.
+    stamps ``epoch`` with the database's *storage* epoch and resets the memo
+    when that epoch moves (DDL / data loads; stats-only changes keep it);
+    short-lived callers may still create a private instance per
+    plan-evaluation sweep and discard it.
 
     ``max_entries`` bounds both caches (FIFO eviction): a long-lived serving
     process must not grow the memo without bound.  ``max_bytes`` additionally
@@ -147,7 +151,7 @@ class ExecutionMemo:
     entries: Dict[Hashable, MemoEntry] = field(default_factory=dict)
     #: (kind, child subtree key, ...) -> cached hash table / sort order / ...
     aux: Dict[Hashable, Any] = field(default_factory=dict)
-    #: Data epoch this memo's entries were computed at (None = unmanaged).
+    #: Storage epoch this memo's entries were computed at (None = unmanaged).
     epoch: Optional[int] = None
     #: Per-cache entry cap (None = unbounded); oldest entries evicted first.
     max_entries: Optional[int] = None

@@ -1521,6 +1521,18 @@ class VectorizedExecutor:
         keys: Tuple[ColumnRef, ...] = tuple(node.properties.get("group_by") or ())
         aggregates = tuple(node.properties.get("aggregates") or ())
 
+        if length:
+            for aggregate, column in aggregates:
+                if column is not None and column.key not in child_batch.columns:
+                    raise PlanError(
+                        f"aggregate {aggregate}({column.key}) references a column "
+                        f"missing from the grouped input"
+                    )
+        if length and np is not None and self.config.groupby_kernel:
+            out_rows = self._grouped_rows_vectorized(node, child_batch, keys, aggregates, memo)
+            if out_rows is not None:
+                return Batch.from_rows(out_rows)
+
         groups: Dict[Tuple, List[int]] = {}
         if keys:
             key_columns = [self._python_column(child_batch, key.key) for key in keys]
@@ -1557,6 +1569,205 @@ class VectorizedExecutor:
             out_rows.append(out_row)
         return Batch.from_rows(out_rows)
 
+    def _grouped_rows_vectorized(
+        self,
+        node: PlanNode,
+        batch: Batch,
+        keys: Tuple[ColumnRef, ...],
+        aggregates: Tuple,
+        memo: Optional[ExecutionMemo],
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Group-by kernel: aggregate over argsort-grouped runs of typed keys.
+
+        The vectorized analogue of the ``key tuple -> [positions]`` dict: a
+        stable (lex)argsort of the key columns turns each distinct key tuple
+        into one ``[start, stop)`` run (the join kernels' :class:`_KeyGroups`
+        layout), emitted in first-occurrence order -- exactly the dict path's
+        insertion order, because within a run the stable sort keeps positions
+        ascending.  COUNT/MIN/MAX reduce whole runs; SUM/AVG add
+        *sequentially* within each run in input order, so float summation
+        order (and with it every output bit) matches the row engine's
+        ``sum()``.  Returns None to decline to the oracle loop -- object
+        dtype, NULL-bearing or NaN keys, list-backed columns -- and declines
+        per expression the same way without giving up the grouped layout.
+        """
+        length = batch.length
+        child = node.inputs[0]
+        if keys:
+            runs = self._group_runs(batch, child, keys, memo)
+            if runs is None:
+                return None
+            order, run_starts, run_stops = runs
+            # First-occurrence emission: ``order[start]`` is each run's
+            # earliest input position (stable sort), so sorting runs by it
+            # reproduces the dict path's insertion order.
+            emit = np.argsort(order[run_starts], kind="stable")
+            starts = run_starts[emit]
+            stops = run_stops[emit]
+            firsts = order[starts]
+            key_values = []
+            for key in keys:
+                array = numeric_array(self._column_of(batch, child, key.key, memo))
+                if array is None:
+                    return None
+                key_values.append(array[firsts].tolist())
+        else:
+            order = None
+            run_starts = starts = np.zeros(1, dtype=np.intp)
+            run_stops = stops = np.full(1, length, dtype=np.intp)
+            emit = np.zeros(1, dtype=np.intp)
+            key_values = []
+        sizes = (stops - starts).tolist()
+
+        agg_columns: List[Tuple[str, List[Any]]] = []
+        for aggregate, column in aggregates:
+            target = column.key if column is not None else "*"
+            values = self._run_aggregate(
+                aggregate, column, batch, child, memo,
+                order, run_starts, emit, starts, stops, sizes, length,
+            )
+            agg_columns.append((f"{aggregate}({target})", values))
+
+        out_rows: List[Dict[str, Any]] = []
+        for g in range(len(sizes)):
+            out_row: Dict[str, Any] = {}
+            for key, values in zip(keys, key_values):
+                out_row[key.key] = values[g]
+            for name, values in agg_columns:
+                out_row[name] = values[g]
+            out_rows.append(out_row)
+        return out_rows
+
+    def _group_runs(
+        self,
+        batch: Batch,
+        child: PlanNode,
+        keys: Tuple[ColumnRef, ...],
+        memo: Optional[ExecutionMemo],
+    ) -> Optional[Tuple[Any, Any, Any]]:
+        """Stable (lex)argsort run structure of the group-key columns.
+
+        Returns ``(order, starts, stops)`` in the :class:`_KeyGroups` layout,
+        or None when any key column declines (object dtype, NULLs, NaNs, list
+        backend).  A single key shares the join kernels' aux-cached
+        ``("kgroups", ...)`` grouping; multi-key tuples lexsort with the
+        first key primary and cache per memoized child the same way.  NaN
+        keys decline because the dict path groups them by object identity.
+        """
+        if len(keys) == 1:
+            groups = self._key_groups(batch, child, keys[0].key, memo)
+            if groups is None:
+                return None
+            unique = groups.unique
+            if unique.dtype.kind == "f" and len(unique) and np.isnan(unique[-1]):
+                return None
+            return groups.order, groups.starts, groups.stops
+        key_names = tuple(key.key for key in keys)
+        aux_key = None
+        if memo is not None:
+            child_key = self._memo_key(child)
+            if child_key is not None:
+                aux_key = ("ggroups", child_key, key_names)
+                cached = memo.aux_lookup(aux_key)
+                if cached is not None:
+                    return cached
+        arrays = []
+        for key in keys:
+            array = numeric_array(self._column_of(batch, child, key.key, memo))
+            if array is None or (array.dtype.kind == "f" and np.isnan(array).any()):
+                return None
+            arrays.append(array)
+        order = np.lexsort(tuple(reversed(arrays)))
+        count = len(order)
+        diff = np.zeros(max(0, count - 1), dtype=bool)
+        for array in arrays:
+            sorted_vals = array[order]
+            diff |= sorted_vals[1:] != sorted_vals[:-1]
+        boundaries = np.flatnonzero(diff) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [count]))
+        runs = (order, starts, stops)
+        if aux_key is not None:
+            memo.aux_store(aux_key, runs)
+        return runs
+
+    def _run_aggregate(
+        self,
+        aggregate: str,
+        column: Optional[ColumnRef],
+        batch: Batch,
+        child: PlanNode,
+        memo: Optional[ExecutionMemo],
+        order: Optional[Any],
+        run_starts: Any,
+        emit: Any,
+        starts: Any,
+        stops: Any,
+        sizes: List[int],
+        length: int,
+    ) -> List[Any]:
+        """One aggregate expression evaluated per emitted run (Python scalars).
+
+        ``run_starts`` is in sorted-run order (what ``reduceat`` needs),
+        ``starts``/``stops``/``sizes`` are permuted to emission order
+        (arbitrary-order slicing is fine), ``emit`` maps the former to the
+        latter.  A typed null-free column reduces vectorized; anything else
+        declines to :meth:`_aggregate_values` over the run's members, which
+        is the oracle.
+        """
+        if column is None:
+            # COUNT(*) counts members; any other aggregate without a column
+            # is NULL (the oracle's behavior).
+            return list(sizes) if aggregate == "COUNT" else [None] * len(sizes)
+        values = self._column_of(batch, child, column.key, memo)
+        array = numeric_array(values)
+        if array is None:
+            return self._python_run_aggregate(
+                aggregate, column, values, order, starts, stops, length
+            )
+        if aggregate == "COUNT":
+            # Typed non-object arrays are null-free by construction.
+            return list(sizes)
+        sorted_vals = array if order is None else array[order]
+        if aggregate in ("SUM", "AVG"):
+            out: List[Any] = []
+            for start, stop, size in zip(starts.tolist(), stops.tolist(), sizes):
+                # ``tolist`` + built-in ``sum`` adds the run's values left to
+                # right as Python objects: bit-identical float rounding to
+                # the row engine, arbitrary-precision integer sums.
+                total = sum(sorted_vals[start:stop].tolist())
+                out.append(total if aggregate == "SUM" else total / size)
+            return out
+        if aggregate in ("MIN", "MAX"):
+            if sorted_vals.dtype.kind == "f" and np.isnan(sorted_vals).any():
+                # Python min/max over NaNs is position-dependent; the loop
+                # is the oracle.
+                return self._python_run_aggregate(
+                    aggregate, column, values, order, starts, stops, length
+                )
+            ufunc = np.minimum if aggregate == "MIN" else np.maximum
+            return ufunc.reduceat(sorted_vals, run_starts)[emit].tolist()
+        raise PlanError(f"unsupported aggregate {aggregate!r}")
+
+    def _python_run_aggregate(
+        self,
+        aggregate: str,
+        column: Optional[ColumnRef],
+        values: Sequence[Any],
+        order: Optional[Any],
+        starts: Any,
+        stops: Any,
+        length: int,
+    ) -> List[Any]:
+        """Declined aggregate expression: the oracle loop per emitted run."""
+        pyvals = python_values(values)
+        if order is None:
+            return [self._aggregate_values(aggregate, column, pyvals, range(length))]
+        return [
+            self._aggregate_values(aggregate, column, pyvals, order[start:stop])
+            for start, stop in zip(starts.tolist(), stops.tolist())
+        ]
+
     @staticmethod
     def _python_column(batch: Batch, key: str) -> List[Any]:
         """One batch column as plain Python values (representation boundary).
@@ -1564,6 +1775,9 @@ class VectorizedExecutor:
         Group-by keys and aggregate inputs flow into result-row dicts, which
         must be type-identical to the row engine's output (and serializable),
         so numpy scalars are converted here rather than per emitted row.
+        Missing *key* columns yield NULLs, matching the row engine's
+        ``row.get``; missing *aggregate* columns are rejected upfront in
+        :meth:`_execute_group_by` (both engines raise ``PlanError``).
         """
         values = batch.columns.get(key)
         if values is None:

@@ -123,6 +123,12 @@ class TableStatistics:
     cardinality: int = 0
     pages: int = 1
     columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: Statistics epoch at which an explicit RUNSTATS collected this object
+    #: (stamped by :meth:`repro.engine.database.Database.runstats`); ``None``
+    #: for implicit collections (seed stats built during data loads).  Lets
+    #: callers tell a re-collection apart from a cache of the old epoch
+    #: without comparing histograms.
+    collected_epoch: Optional[int] = None
 
     def column(self, name: str) -> ColumnStatistics:
         if name not in self.columns:

@@ -52,6 +52,10 @@ class ExperimentSettings:
     #: engine default (``DbConfig.column_backend = "auto"``); the backend
     #: benchmarks pin ``"numpy"`` / ``"list"`` explicitly.
     column_backend: Optional[str] = None
+    #: Vectorized group-by kernel toggle: ``None`` keeps the engine default
+    #: (on); the kernel benchmarks pin True/False to measure the argsort-run
+    #: aggregation against the per-row loop on identical workloads.
+    groupby_kernel: Optional[bool] = None
 
     def learning_config(self) -> LearningConfig:
         return LearningConfig(
@@ -89,10 +93,15 @@ def build_bundle(
         settings.tpcds_query_count if workload_name.startswith("tpc") else settings.client_query_count
     )
     config = None
-    if settings.column_backend is not None:
+    if settings.column_backend is not None or settings.groupby_kernel is not None:
         from repro.engine.config import DbConfig
 
-        config = DbConfig(column_backend=settings.column_backend)
+        overrides = {}
+        if settings.column_backend is not None:
+            overrides["column_backend"] = settings.column_backend
+        if settings.groupby_kernel is not None:
+            overrides["groupby_kernel"] = settings.groupby_kernel
+        config = DbConfig(**overrides)
     workload = load_workload(
         workload_name,
         scale=settings.scale,

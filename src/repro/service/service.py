@@ -487,7 +487,10 @@ class GaloService:
         rename, registry last as the commit point); this method adds the
         interval pacing and the dirty check, so a quiet service performs no
         disk writes.  ``force`` (shutdown) skips the interval, not the dirty
-        check.
+        check.  The timer advances only when a snapshot is actually
+        attempted: an idle (clean-KB) wake-up must not restart the interval,
+        or a KB dirtied just after it would wait up to two intervals for its
+        first snapshot.
         """
         directory = self.config.kb_checkpoint_directory
         interval = self.config.kb_checkpoint_interval_seconds
@@ -496,9 +499,9 @@ class GaloService:
         now = time.monotonic()
         if not force and (interval is None or now - self._last_kb_checkpoint < interval):
             return
-        self._last_kb_checkpoint = now
         if not self.galo.knowledge_base.dirty:
             return
+        self._last_kb_checkpoint = now
         try:
             self.galo.knowledge_base.save(directory)
             self.metrics.increment("kb_checkpoints")

@@ -7,6 +7,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.learning.ranking import kmeans_two_clusters
+from repro.engine.executor import bufferpool
+from repro.engine.executor.bufferpool import BufferPool
 from repro.engine.expressions import Between, ColumnRef, Comparison, InList, Literal
 from repro.engine.statistics import collect_column_statistics
 from repro.rdf.graph import Graph, Triple
@@ -85,6 +87,77 @@ def test_frequent_value_selectivities_sum_below_one(values):
     stats = collect_column_statistics("c", values)
     total = sum(stats.selectivity_equals(value) for value, _ in stats.frequent_values)
     assert total <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# buffer pool: trace replay vs the per-page LRU oracle
+# ---------------------------------------------------------------------------
+
+#: Interleaved traces over two tables with heavy page reuse (pages 0..30), so
+#: runs randomly land on both sides of the eviction-free bound.
+_trace_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["S", "T"]),
+        st.lists(st.integers(0, 30), max_size=60),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _assert_pools_identical(candidate, oracle):
+    """Counters AND the full LRU recency order must match the oracle."""
+    assert candidate.logical_reads == oracle.logical_reads
+    assert candidate.physical_reads == oracle.physical_reads
+    assert list(candidate._pages) == list(oracle._pages)
+
+
+@DEFAULT_SETTINGS
+@given(capacity=st.integers(1, 48), ops=_trace_ops)
+def test_access_many_matches_per_page_oracle(capacity, ops):
+    """Batch trace replay is per-access LRU, observably: same misses, same
+    counters, same final recency order -- with the array fast path offered on
+    every trace (threshold forced to zero), so eviction-free replays exercise
+    it and eviction-prone ones exercise the decline-to-loop rule."""
+    candidate = BufferPool(capacity_pages=capacity)
+    oracle = BufferPool(capacity_pages=capacity)
+    original_threshold = bufferpool._VECTOR_MIN_PAGES
+    bufferpool._VECTOR_MIN_PAGES = 0
+    try:
+        for table, pages in ops:
+            misses = candidate.access_many(table, pages)
+            expected = sum(not oracle.access(table, page) for page in pages)
+            assert misses == expected
+            _assert_pools_identical(candidate, oracle)
+    finally:
+        bufferpool._VECTOR_MIN_PAGES = original_threshold
+
+
+@DEFAULT_SETTINGS
+@given(
+    capacity=st.integers(1, 48),
+    runs=st.lists(
+        st.tuples(
+            st.sampled_from(["S", "T"]),
+            st.integers(0, 20),
+            st.integers(0, 40),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+def test_access_sequential_matches_per_page_oracle(capacity, runs):
+    """Sequential runs (including the empty-pool fast path on the first run)
+    equal per-page accesses over the same range."""
+    candidate = BufferPool(capacity_pages=capacity)
+    oracle = BufferPool(capacity_pages=capacity)
+    for table, first, count in runs:
+        misses = candidate.access_sequential(table, first, count)
+        expected = sum(
+            not oracle.access(table, page) for page in range(first, first + count)
+        )
+        assert misses == expected
+        _assert_pools_identical(candidate, oracle)
 
 
 # ---------------------------------------------------------------------------

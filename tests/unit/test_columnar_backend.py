@@ -594,6 +594,50 @@ class TestKbCheckpointing:
         restored = KnowledgeBase.load(str(directory))
         assert sorted(restored.templates) == sorted(galo.knowledge_base.templates)
 
+    def test_clean_wakeup_does_not_restart_interval(self, mini_db, tmp_path, monkeypatch):
+        """Regression: an idle (clean-KB) timer wake-up must not advance the
+        checkpoint clock.  It used to, which made a KB dirtied right after a
+        clean tick wait up to two full intervals for its first snapshot."""
+        import repro.service.service as service_module
+
+        directory = tmp_path / "kb"
+        kb = seeded_kb(mini_db)
+        kb.save(str(directory))
+        assert not kb.dirty
+        galo = Galo(mini_db, knowledge_base=kb)
+        service = GaloService(
+            galo,
+            ServiceConfig(
+                max_workers=1,
+                steering_enabled=False,
+                learning_enabled=True,
+                kb_checkpoint_interval_seconds=10.0,
+                kb_checkpoint_directory=str(directory),
+            ),
+        )
+        clock = [10.0]
+        monkeypatch.setattr(service_module.time, "monotonic", lambda: clock[0])
+        service._last_kb_checkpoint = 0.0
+        # Clean wake-up one full interval in: nothing to snapshot, and the
+        # timer must stay where it was.
+        service._checkpoint_kb_sync()
+        assert service.metrics.count("kb_checkpoints") == 0
+        assert service._last_kb_checkpoint == 0.0
+        # The KB goes dirty just after the clean tick; the very next due
+        # wake-up (t=12 > interval since the *last attempt*, not since the
+        # clean tick) must snapshot immediately.
+        kb.evict_template(next(iter(kb.templates)))
+        clock[0] = 12.0
+        service._checkpoint_kb_sync()
+        assert service.metrics.count("kb_checkpoints") == 1
+        assert service._last_kb_checkpoint == 12.0
+        assert not kb.dirty
+        # A later clean wake-up still leaves the timer at the last attempt.
+        clock[0] = 23.0
+        service._checkpoint_kb_sync()
+        assert service.metrics.count("kb_checkpoints") == 1
+        assert service._last_kb_checkpoint == 12.0
+
     def test_stop_forces_final_checkpoint(self, mini_db, tmp_path):
         galo = Galo(mini_db, knowledge_base=seeded_kb(mini_db))
         directory = tmp_path / "kb"

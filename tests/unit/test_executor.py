@@ -193,6 +193,42 @@ class TestBufferPool:
         assert misses == 5
         assert pool.access_sequential("T", 0, 5) == 0
 
+    def test_array_replay_matches_oracle_counts_and_order(self):
+        """An eviction-free trace (>= the vector threshold) replays through
+        the array path with the oracle's counters and final LRU order."""
+        trace = [page % 17 for page in range(64)]
+        pool = BufferPool(capacity_pages=128)
+        pool.access("T", 999)  # pre-resident page the trace never touches
+        oracle = BufferPool(capacity_pages=128)
+        oracle.access("T", 999)
+        misses = pool.access_many("T", trace)
+        expected = sum(not oracle.access("T", page) for page in trace)
+        assert misses == expected == 17
+        assert pool.logical_reads == oracle.logical_reads
+        assert pool.physical_reads == oracle.physical_reads
+        assert list(pool._pages) == list(oracle._pages)
+        # The untouched resident stays oldest; touched pages follow in
+        # last-occurrence order.
+        assert next(iter(pool._pages)) == ("T", 999)
+
+    def test_array_replay_declines_when_eviction_possible(self):
+        # More distinct pages than capacity: the per-page loop must run and
+        # keep only the LRU tail resident.
+        pool = BufferPool(capacity_pages=8)
+        assert pool.access_many("T", list(range(64))) == 64
+        assert pool.resident_pages == 8
+        assert list(pool._pages) == [("T", page) for page in range(56, 64)]
+
+    def test_access_many_handles_unsized_and_untyped_inputs(self):
+        pool = BufferPool(capacity_pages=256)
+        # A generator has no len(): the loop path absorbs it.
+        assert pool.access_many("T", (page for page in range(40))) == 40
+        # Beyond-int64 page numbers make an object-dtype array: the array
+        # path declines and the loop stays exact.
+        huge = [2**100 + page for page in range(40)]
+        assert pool.access_many("T", huge) == 40
+        assert pool.access_many("T", huge) == 0
+
 
 class TestDb2Batch:
     def test_samples_are_deterministic_per_plan(self, mini_db):

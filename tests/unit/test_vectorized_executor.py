@@ -11,7 +11,9 @@ full equality.
 
 import pytest
 
+from repro.engine.columns import HAVE_NUMPY
 from repro.engine.config import DbConfig
+from repro.engine.database import Database
 from repro.engine.executor import (
     Batch,
     ExecutionMemo,
@@ -20,6 +22,10 @@ from repro.engine.executor import (
     make_executor,
 )
 from repro.engine.executor.vectorized import _merge_batches
+from repro.engine.expressions import ColumnRef
+from repro.engine.schema import Index, make_schema
+from repro.engine.types import DataType
+from repro.errors import PlanError
 
 MINI_SQLS = [
     "SELECT i_item_sk FROM item WHERE i_category = 'Jewelry'",
@@ -105,6 +111,178 @@ class TestMiniDifferential:
             mini_db.explain(MINI_SQLS[4])
         )
         assert_identical(reference, result)
+
+
+# ---------------------------------------------------------------------------
+# Group-by kernel differential: every aggregate over typed, NULL-bearing,
+# string and empty inputs, four ways (row/vectorized x numpy/list), cold and
+# memoized.  The argsort-run kernel must be invisible; where it declines
+# (object dtype, NULL keys) the setdefault loop is the oracle either way.
+# ---------------------------------------------------------------------------
+
+GROUPBY_SQLS = [
+    "SELECT g_kind, COUNT(*) FROM gfact GROUP BY g_kind",
+    "SELECT g_kind, SUM(g_dval), AVG(g_dval), MIN(g_dval), MAX(g_dval) "
+    "FROM gfact GROUP BY g_kind",
+    # DECIMAL SUM/AVG: float accumulation order is part of the contract.
+    "SELECT g_kind, SUM(g_price), AVG(g_price) FROM gfact GROUP BY g_kind",
+    # NULL-bearing aggregate input: COUNT skips NULLs, SUM ignores them.
+    "SELECT g_kind, COUNT(g_val), SUM(g_val) FROM gfact GROUP BY g_kind",
+    # String key with NULL groups (kernel declines, loop path).
+    "SELECT g_code, COUNT(*) FROM gfact GROUP BY g_code",
+    # NULL-bearing numeric key (kernel declines).
+    "SELECT g_nkey, AVG(g_dval) FROM gfact GROUP BY g_nkey",
+    # Multi-key: all-numeric (kernel) and mixed numeric/string (declines).
+    "SELECT g_kind, g_flag, SUM(g_dval) FROM gfact GROUP BY g_kind, g_flag",
+    "SELECT g_kind, g_code, SUM(g_dval) FROM gfact GROUP BY g_kind, g_code",
+    "SELECT g_kind, COUNT(*) FROM gfact GROUP BY g_kind ORDER BY g_kind",
+    # Scalar aggregates (no grouping keys).
+    "SELECT COUNT(*), SUM(g_price), MIN(g_dval) FROM gfact",
+    # Empty input: grouped -> no rows; scalar -> one row of NULL/zero.
+    "SELECT g_kind, AVG(g_price) FROM gempty GROUP BY g_kind",
+    "SELECT COUNT(*), SUM(g_price) FROM gempty",
+]
+
+GROUPBY_BACKENDS = ["numpy", "list"] if HAVE_NUMPY else ["list"]
+
+
+def build_groupby_database(backend: str, groupby_kernel: bool = True) -> Database:
+    """One fact table covering every kernel path plus an empty table."""
+    db = Database(
+        config=DbConfig(column_backend=backend, groupby_kernel=groupby_kernel)
+    )
+    db.create_table(
+        make_schema(
+            "GFACT",
+            [
+                ("g_id", DataType.INTEGER),
+                ("g_kind", DataType.INTEGER),
+                ("g_flag", DataType.INTEGER),
+                ("g_code", DataType.VARCHAR),
+                ("g_nkey", DataType.INTEGER),
+                ("g_val", DataType.INTEGER),
+                ("g_dval", DataType.INTEGER),
+                ("g_price", DataType.DECIMAL),
+            ],
+            [Index("G_PK", "GFACT", "g_id", unique=True)],
+        )
+    )
+    codes = ["aa", "bb", None, "cc"]
+    db.load_rows(
+        "GFACT",
+        [
+            {
+                "g_id": i,
+                "g_kind": (i * 7) % 6,
+                "g_flag": (i * 3) % 4,
+                "g_code": codes[i % len(codes)],
+                "g_nkey": None if i % 9 == 4 else i % 5,
+                "g_val": None if i % 6 == 2 else (i * 37) % 100,
+                "g_dval": (i * 17) % 50,
+                "g_price": round((i * 13) % 97 + 0.25, 2),
+            }
+            for i in range(400)
+        ],
+    )
+    db.create_table(
+        make_schema(
+            "GEMPTY",
+            [("g_kind", DataType.INTEGER), ("g_price", DataType.DECIMAL)],
+            [],
+        )
+    )
+    return db
+
+
+class TestGroupByDifferential:
+    @pytest.mark.parametrize("backend", GROUPBY_BACKENDS)
+    def test_cold_plans_identical(self, backend):
+        db = build_groupby_database(backend)
+        checked = run_differential(db, GROUPBY_SQLS, random_plans_per_query=3)
+        assert checked >= len(GROUPBY_SQLS)
+
+    @pytest.mark.parametrize("backend", GROUPBY_BACKENDS)
+    def test_memoized_plans_identical(self, backend):
+        db = build_groupby_database(backend)
+        memo = ExecutionMemo()
+        run_differential(db, GROUPBY_SQLS, random_plans_per_query=3, memo=memo)
+        assert memo.hits > 0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_kernel_off_matches_kernel_on(self):
+        on = build_groupby_database("numpy")
+        off = build_groupby_database("numpy", groupby_kernel=False)
+        assert on.config.resolved_groupby_kernel()
+        assert not off.config.resolved_groupby_kernel()
+        for sql in GROUPBY_SQLS:
+            assert_identical(off.execute_sql(sql), on.execute_sql(sql), context=sql)
+
+    def test_kernel_resolution_gates_on_backend(self):
+        assert DbConfig(column_backend="list").resolved_groupby_kernel() is False
+        if HAVE_NUMPY:
+            assert DbConfig(column_backend="numpy").resolved_groupby_kernel()
+            assert not DbConfig(
+                column_backend="numpy", groupby_kernel=False
+            ).resolved_groupby_kernel()
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_kernel_engages_and_declines_where_expected(self, monkeypatch):
+        """Guard against the differential passing vacuously: the suite must
+        actually drive both the argsort kernel and the decline-to-loop path."""
+        db = build_groupby_database("numpy")
+        outcomes = []
+        original = VectorizedExecutor._grouped_rows_vectorized
+
+        def spy(self, *args, **kwargs):
+            rows = original(self, *args, **kwargs)
+            outcomes.append(rows is not None)
+            return rows
+
+        monkeypatch.setattr(VectorizedExecutor, "_grouped_rows_vectorized", spy)
+        run_differential(db, GROUPBY_SQLS, random_plans_per_query=0)
+        assert any(outcomes), "the vectorized kernel never engaged"
+        assert not all(outcomes), "NULL/string keys should decline to the loop"
+
+
+class TestMissingAggregateColumn:
+    """Both engines reject an aggregate over a column its input does not
+    produce -- the vectorized path used to fabricate an all-None column."""
+
+    SQL = "SELECT g_kind, SUM(g_dval) FROM gfact GROUP BY g_kind"
+
+    @staticmethod
+    def _corrupt(qgm):
+        for node in qgm.nodes():
+            if node.properties.get("aggregates"):
+                node.properties["aggregates"] = [
+                    ("SUM", ColumnRef("GFACT", "g_ghost"))
+                ]
+        return qgm
+
+    def test_engines_raise_identically(self):
+        db = build_groupby_database(GROUPBY_BACKENDS[0])
+        messages = []
+        for engine_cls in (Executor, VectorizedExecutor):
+            engine = engine_cls(db.catalog, db.config)
+            with pytest.raises(PlanError) as excinfo:
+                engine.execute(self._corrupt(db.explain(self.SQL)))
+            messages.append(str(excinfo.value))
+        assert messages[0] == messages[1]
+        assert "g_ghost" in messages[0]
+
+    def test_missing_group_key_still_yields_nulls(self):
+        """Group *keys* keep the row engine's row.get() NULL-fill semantics;
+        only aggregate inputs are strict."""
+        db = build_groupby_database(GROUPBY_BACKENDS[0])
+        qgm = db.explain(self.SQL)
+        for node in qgm.nodes():
+            if node.properties.get("group_by"):
+                node.properties["group_by"] = [ColumnRef("GFACT", "g_ghost")]
+        reference = Executor(db.catalog, db.config).execute(qgm.copy())
+        candidate = VectorizedExecutor(db.catalog, db.config).execute(qgm.copy())
+        assert_identical(reference, candidate)
+        # Every row grouped under the one all-NULL ghost key.
+        assert len(reference.rows) == 1
 
 
 class TestEngineSelection:

@@ -5,10 +5,15 @@ every plan evaluation of a workload sweep -- including whole join subtrees --
 must be invisible in the output.  Rows (values and dict key order), simulated
 ``elapsed_ms``, per-operator actual cardinalities and every runtime metric
 stay bit-identical to cold execution, and the memo dies with the data: any
-DDL, data load or RUNSTATS bumps the database's data epoch and resets it.
+DDL or data load bumps the database's *storage* epoch and resets it.
+RUNSTATS does not -- it moves only the statistics epoch (plan cache), and
+memo entries, gathered aux columns and join build/sort caches are pure
+functions of storage, so they survive re-collections mid-sweep.
 """
 
 import pytest
+
+from repro.engine.columns import HAVE_NUMPY
 
 from repro.core.galo import Galo
 from repro.core.knowledge_base import KnowledgeBase
@@ -53,8 +58,10 @@ class TestWorkloadMemoAccessor:
     def test_same_instance_per_epoch(self, mini_db):
         memo = mini_db.workload_memo()
         assert mini_db.workload_memo() is memo
-        assert memo.epoch == mini_db.data_epoch
+        assert memo.epoch == mini_db.storage_epoch
         assert memo.max_entries == Database.WORKLOAD_MEMO_MAX_ENTRIES
+        # The combined data epoch counts both kinds of invalidation.
+        assert mini_db.data_epoch == mini_db.storage_epoch + mini_db.stats_epoch
 
     def test_entry_cap_evicts_oldest_first(self):
         memo = ExecutionMemo(max_entries=2)
@@ -70,6 +77,88 @@ class TestWorkloadMemoAccessor:
         memo.aux_store("y", 2)
         memo.aux_store("z", 3)
         assert list(memo.aux) == ["y", "z"]
+
+
+def _entry_of(size):
+    """A MemoEntry whose estimated payload scales with ``size`` positions."""
+    return MemoEntry(columns={}, positions=list(range(size)), deltas=(), traces=())
+
+
+def assert_bytes_consistent(memo, context=""):
+    """The byte-accounting invariant: the running total in ``entry_bytes``
+    must equal the recomputed sum over the entries actually resident."""
+    recomputed = sum(entry.nbytes for entry in memo.entries.values())
+    assert memo.stats()["entry_bytes"] == recomputed, (
+        f"entry_bytes drifted from the resident entries: {context}"
+    )
+
+
+class TestMemoByteAccounting:
+    def test_bytes_track_store_replace_and_fifo_eviction(self):
+        memo = ExecutionMemo(max_entries=3)
+        for key, size in (("a", 10), ("b", 20), ("c", 30)):
+            memo.store(key, _entry_of(size))
+            assert_bytes_consistent(memo, f"after store {key!r}")
+        # Replacing a key swaps its bytes, it does not double-count them.
+        memo.store("b", _entry_of(100))
+        assert_bytes_consistent(memo, "after replace")
+        # Entry-count eviction releases the FIFO-oldest entry's bytes.
+        memo.store("d", _entry_of(5))
+        assert "a" not in memo.entries
+        assert_bytes_consistent(memo, "after FIFO eviction")
+
+    def test_byte_budget_evictions_and_oversized_entry(self):
+        budget = 3 * _entry_of(10).estimated_bytes()
+        memo = ExecutionMemo(max_bytes=budget)
+        for key in "abc":
+            memo.store(key, _entry_of(10))
+        assert_bytes_consistent(memo, "filled to budget")
+        # Pushing past the budget evicts oldest-first until back under it.
+        memo.store("d", _entry_of(10))
+        assert memo.stats()["byte_evictions"] >= 1
+        assert memo.entry_bytes <= budget
+        assert_bytes_consistent(memo, "after byte eviction")
+        # An entry bigger than the whole budget is not cached and must not
+        # perturb the accounting either.
+        memo.store("huge", _entry_of(10_000))
+        assert "huge" not in memo.entries
+        assert_bytes_consistent(memo, "after rejecting oversized entry")
+
+    def test_epoch_swap_and_pinned_stores_keep_budgets_separate(self):
+        memo = ExecutionMemo(max_entries=8, epoch=1)
+        memo.store("a", _entry_of(10))
+        pin = memo.pinned()
+        memo.reset(epoch=2)
+        assert memo.entry_bytes == 0
+        assert_bytes_consistent(memo, "after reset")
+        # A pinned execution's late stores land in the orphaned snapshot and
+        # account against the orphaned box -- both stay internally consistent.
+        pin.store("late", _entry_of(50))
+        assert "late" not in memo.entries
+        assert_bytes_consistent(memo, "shared memo after pinned store")
+        assert_bytes_consistent(pin, "pinned snapshot after pinned store")
+        # A pin taken after the reset shares the new dict *and* the new box.
+        fresh_pin = memo.pinned()
+        fresh_pin.store("b", _entry_of(7))
+        assert "b" in memo.entries
+        assert_bytes_consistent(memo, "after post-reset pinned store")
+
+    def test_bytes_consistent_through_real_sweep(self, mini_db):
+        """The invariant holds for entries produced by actual executions,
+        across a sweep, a stats-only epoch, and a storage reset."""
+        memo = mini_db.workload_memo()
+        engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        for sql in JOIN_SQLS:
+            engine.execute(mini_db.explain(sql), memo=memo)
+            assert_bytes_consistent(memo, sql)
+        assert memo.entry_bytes > 0
+        for table in mini_db.tables:
+            mini_db.runstats(table)
+        assert_bytes_consistent(mini_db.workload_memo(), "after RUNSTATS")
+        mini_db.load_rows("ITEM", [])
+        refreshed = mini_db.workload_memo()
+        assert refreshed.entry_bytes == 0
+        assert_bytes_consistent(refreshed, "after storage epoch reset")
 
 
 class TestJoinSubtreeMemo:
@@ -172,16 +261,67 @@ class TestEpochInvalidation:
         pin.lookup("anything")
         assert shared.misses == pin.misses
 
-    def test_runstats_and_ddl_reset_memo(self):
+    def test_ddl_resets_memo_but_runstats_keeps_it(self):
         db = _tiny_database()
         memo = db.workload_memo()
         db.execute_plan(db.explain(self.SQL), memo=memo)
         assert memo.entries
+        # RUNSTATS is a stats-only epoch: the plan cache must go (cost model
+        # changed) but every memo payload is a pure function of storage.
+        entries_before = dict(memo.entries)
+        stats_before = db.stats_epoch
+        storage_before = db.storage_epoch
         db.runstats("T")
-        assert not db.workload_memo().entries
+        assert db.stats_epoch == stats_before + 1
+        assert db.storage_epoch == storage_before
+        assert db.workload_memo() is memo
+        assert memo.entries == entries_before
         db.execute_plan(db.explain(self.SQL), memo=db.workload_memo())
+        # DDL moves storage: the memo resets.
         db.create_index(Index("T_VAL_IDX", "T", "t_val"))
+        assert db.storage_epoch == storage_before + 1
         assert not db.workload_memo().entries
+
+    def test_runstats_mid_sweep_keeps_aux_and_stays_identical(self, mini_db):
+        """The acceptance scenario: RUNSTATS during a measurement sweep no
+        longer resets the memo's aux arrays (gathered columns, join
+        build/sort caches), and memoized execution after the re-collection
+        is still bit-identical to a cold row-engine run."""
+        memo = mini_db.workload_memo()
+        engine = VectorizedExecutor(mini_db.catalog, mini_db.config)
+        engine.execute(mini_db.explain(JOIN_SQLS[1]), memo=memo)
+        assert memo.entries and memo.aux, "sweep should have populated the memo"
+        entries_keys = set(memo.entries)
+        aux_keys = set(memo.aux)
+        aux_values = {key: memo.aux[key] for key in aux_keys}
+        for table in mini_db.tables:
+            mini_db.runstats(table)
+        refreshed = mini_db.workload_memo()
+        assert refreshed is memo
+        assert set(memo.entries) == entries_keys
+        assert set(memo.aux) == aux_keys
+        for key in aux_keys:  # the very same cached objects, not rebuilds
+            assert memo.aux[key] is aux_values[key]
+        hits_before = memo.hits
+        aux_hits_before = memo.aux_hits
+        result = engine.execute(mini_db.explain(JOIN_SQLS[1]), memo=memo)
+        assert memo.hits > hits_before
+        if HAVE_NUMPY:
+            # Without numpy there are no vectorized kernels consulting the
+            # aux cache; whole-subtree memo hits short-circuit past it.
+            assert memo.aux_hits > aux_hits_before
+        reference = Executor(mini_db.catalog, mini_db.config).execute(
+            mini_db.explain(JOIN_SQLS[1])
+        )
+        assert_identical(reference, result, context="post-RUNSTATS replay")
+
+    def test_runstats_stamps_stats_epoch(self):
+        db = _tiny_database()
+        first = db.runstats("T")
+        second = db.runstats("T")
+        assert first.collected_epoch is not None
+        assert second.collected_epoch == first.collected_epoch + 1
+        assert db.stats_epoch == second.collected_epoch
 
 
 class TestLearningMemoScopes:
