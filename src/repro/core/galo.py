@@ -114,16 +114,70 @@ class Galo:
         """Evict cold/low-benefit templates until at most ``capacity`` remain."""
         return self.knowledge_base.enforce_capacity(capacity)
 
-    def save_knowledge_base(self, directory: str) -> None:
-        self.knowledge_base.save(directory)
+    def save_knowledge_base(self, directory: str) -> int:
+        """Checkpoint the KB to ``directory``; returns the version published."""
+        return self.knowledge_base.save(directory)
+
+    def adopt_knowledge_base(self, knowledge_base: KnowledgeBase) -> KnowledgeBase:
+        """Swap in ``knowledge_base`` and rewire both engines to it.
+
+        The three attribute assignments are individually atomic and every
+        serving path reads the KB reference once per request, so a swap under
+        live traffic is safe: an in-flight request finishes on the replica it
+        started with.  No database-side invalidation is needed -- the explain
+        cache is keyed by (sql, guideline) and the execution memo by plan
+        structure + data epoch, neither of which depends on the KB.
+        """
+        self.knowledge_base = knowledge_base
+        self.learning_engine.knowledge_base = knowledge_base
+        self.matching_engine.knowledge_base = knowledge_base
+        return knowledge_base
 
     def load_knowledge_base(self, directory: str) -> KnowledgeBase:
         """Replace the current knowledge base with one saved by
         :meth:`save_knowledge_base` and rewire both engines to it."""
-        self.knowledge_base = KnowledgeBase.load(directory)
-        self.learning_engine.knowledge_base = self.knowledge_base
-        self.matching_engine.knowledge_base = self.knowledge_base
-        return self.knowledge_base
+        return self.adopt_knowledge_base(KnowledgeBase.load(directory))
+
+    def maybe_reload_knowledge_base(
+        self, directory: str, force: bool = False, retries: int = 3
+    ) -> Optional[int]:
+        """Hot-reload the KB from ``directory`` if a newer checkpoint landed.
+
+        The serving-tier entry point for checkpoint propagation: compares the
+        on-disk version stamp (written last by :meth:`KnowledgeBase.save`, so
+        a bumped stamp means a complete checkpoint) against the live replica's
+        and swaps via :meth:`adopt_knowledge_base` on a bump -- serving never
+        pauses.  A load racing a concurrent save is detected by re-reading the
+        stamp after the load and retried up to ``retries`` times; the last
+        attempt is adopted regardless (every individual file is atomic, and
+        the next poll reconciles the version).  ``force`` loads any existing
+        checkpoint even without a version bump (fresh-worker bootstrap,
+        including legacy unversioned checkpoints).  Returns the adopted
+        version, or None when nothing was (re)loaded.
+        """
+        disk_version = KnowledgeBase.checkpoint_version_on_disk(directory)
+        if not force and disk_version <= self.knowledge_base.checkpoint_version:
+            return None
+        if not KnowledgeBase.checkpoint_exists(directory):
+            return None
+        loaded: Optional[KnowledgeBase] = None
+        for _ in range(max(1, retries)):
+            try:
+                loaded = KnowledgeBase.load(directory)
+            except (OSError, ValueError, KeyError):
+                # Mid-save torn read (e.g. registry renamed between our stat
+                # and read); the files settle within one save.
+                loaded = None
+                continue
+            if (
+                KnowledgeBase.checkpoint_version_on_disk(directory)
+                == loaded.checkpoint_version
+            ):
+                break
+        if loaded is None:
+            return None
+        self.adopt_knowledge_base(loaded)
+        return loaded.checkpoint_version
 
     @property
     def template_count(self) -> int:

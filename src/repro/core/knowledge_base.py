@@ -313,6 +313,11 @@ class KnowledgeBase:
         #: True when the knowledge base has mutated since the last ``save``;
         #: the serving tier's checkpoint timer skips clean snapshots.
         self._dirty = False
+        #: Monotonic checkpoint version: 0 until the first :meth:`save` (or a
+        #: :meth:`load` of a versioned checkpoint).  Sharded workers compare
+        #: this against :meth:`checkpoint_version_on_disk` to decide whether a
+        #: hot-reload is due.
+        self.checkpoint_version = 0
 
     @property
     def dirty(self) -> bool:
@@ -825,6 +830,35 @@ class KnowledgeBase:
     #: On-disk format version of ``template_index.json``.
     INDEX_FORMAT_VERSION = 1
 
+    #: Checkpoint commit-point file: written last by :meth:`save`, carrying a
+    #: monotonic version stamp.  Cross-process readers treat a version bump as
+    #: "a complete new checkpoint is on disk".
+    CHECKPOINT_VERSION_FILE = "checkpoint.json"
+
+    @staticmethod
+    def checkpoint_version_on_disk(directory: str) -> int:
+        """Version stamp of the checkpoint in ``directory`` (0 = none/legacy).
+
+        Cheap enough to poll: one small-file read, no graph parsing.
+        """
+        path = Path(directory) / KnowledgeBase.CHECKPOINT_VERSION_FILE
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return 0
+        try:
+            return int(payload.get("version", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    @staticmethod
+    def checkpoint_exists(directory: str) -> bool:
+        """True when ``directory`` holds a loadable checkpoint (any version)."""
+        path = Path(directory)
+        return (path / "templates.json").exists() and (
+            path / "knowledge_base.nt"
+        ).exists()
+
     @staticmethod
     def _write_atomic(path: Path, text: str) -> None:
         """Write ``text`` to ``path`` via a temp file + atomic rename.
@@ -837,22 +871,33 @@ class KnowledgeBase:
         temp_path.write_text(text, encoding="utf-8")
         os.replace(temp_path, path)
 
-    def save(self, directory: str) -> None:
+    def save(self, directory: str) -> int:
         """Persist the knowledge base (N-Triples graph + JSON template registry
         + the :class:`TemplateIndex` buckets, so ``load`` skips the rebuild
         scan over the triple store).  Each file is written atomically (temp +
-        rename); a successful save clears :attr:`dirty`."""
+        rename); a successful save clears :attr:`dirty`.
+
+        The version file is written last as the cross-process commit point,
+        stamped ``max(own version, version on disk) + 1`` so the stamp stays
+        monotonic even when a restarted learner publishes over an older
+        process's checkpoints.  Returns the published version.
+        """
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         # Under the write lock: an online learner adding or evicting templates
-        # mid-save would otherwise leave the three files mutually inconsistent.
+        # mid-save would otherwise leave the checkpoint files mutually
+        # inconsistent.
         with self._write_lock:
+            next_version = (
+                max(self.checkpoint_version, self.checkpoint_version_on_disk(directory))
+                + 1
+            )
             self._write_atomic(path / "knowledge_base.nt", self.graph.to_ntriples())
             self._write_atomic(
                 path / "template_index.json",
                 json.dumps(self._index_payload(), indent=2, sort_keys=True),
             )
-            # The registry is written last as the commit point: a crash mid-save
+            # The registry is written before the version file: a crash mid-save
             # leaves load() failing loudly on the missing/old registry rather
             # than silently pairing a fresh registry with a stale index.
             registry = {
@@ -862,7 +907,17 @@ class KnowledgeBase:
             self._write_atomic(
                 path / "templates.json", json.dumps(registry, indent=2, sort_keys=True)
             )
+            self._write_atomic(
+                path / self.CHECKPOINT_VERSION_FILE,
+                json.dumps(
+                    {"version": next_version, "templates": len(self.templates)},
+                    indent=2,
+                    sort_keys=True,
+                ),
+            )
+            self.checkpoint_version = next_version
             self._dirty = False
+        return next_version
 
     def _index_payload(self) -> dict:
         """Serializable form of the index profiles + per-template subjects."""
@@ -941,6 +996,11 @@ class KnowledgeBase:
         """
         path = Path(directory)
         kb = cls()
+        # Version stamp first, data files after: a concurrent save() that
+        # lands mid-load bumps the on-disk version, so a caller re-reading
+        # checkpoint_version_on_disk() after load can detect the race (see
+        # Galo.maybe_reload_knowledge_base) and retry.
+        kb.checkpoint_version = cls.checkpoint_version_on_disk(directory)
         kb.graph = Graph.from_ntriples((path / "knowledge_base.nt").read_text(encoding="utf-8"))
         registry = json.loads((path / "templates.json").read_text(encoding="utf-8"))
         kb.templates = {

@@ -182,9 +182,18 @@ class PlanBuilder:
         outer: PlanNode,
         inner: PlanNode,
         bloom_filter: bool = False,
+        join_predicates: Optional[Tuple[Comparison, ...]] = None,
     ) -> PlanNode:
-        """Build and annotate a join node over two annotated inputs."""
-        join_predicates = self.join_predicates_between(outer, inner)
+        """Build and annotate a join node over two annotated inputs.
+
+        ``join_predicates`` lets a caller that already knows the connecting
+        predicates (e.g. the random plan generator's per-query cache) skip
+        the alias-set tree walks; the predicates are a pure function of the
+        two input subtrees, so passing them is an optimization, never a
+        semantic change.
+        """
+        if join_predicates is None:
+            join_predicates = self.join_predicates_between(outer, inner)
         output_rows = self.estimator.join_cardinality(
             outer.estimated_cardinality, inner.estimated_cardinality, join_predicates
         )

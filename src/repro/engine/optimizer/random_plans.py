@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.engine.catalog import Catalog
 from repro.engine.config import DbConfig
+from repro.engine.expressions import Comparison
 from repro.engine.optimizer.builder import PlanBuilder
 from repro.engine.optimizer.cardinality import CardinalityEstimator
 from repro.engine.optimizer.costmodel import CostModel
@@ -25,13 +26,70 @@ from repro.engine.sql.binder import BoundQuery
 from repro.errors import PlanError
 
 
+class _FragmentCache:
+    """Per-``generate`` reuse of deterministic plan-construction work.
+
+    Profiling the learning sweep shows random-plan *construction* dominated
+    by two pure functions of the bound query that the naive path recomputed
+    for every one of ``count * 10`` attempts: the candidate access paths per
+    alias (estimator + cost model per candidate) and the join predicates
+    connecting two alias sets (tree walks + predicate scans per fragment
+    pair per merge step).  Both are cached here for the duration of one
+    ``generate`` call.
+
+    Access-path nodes are *copied* per pick: plans annotate and execute
+    their nodes in place (``actual_cardinality``), so handing the same node
+    instance to two plans would let one execution bleed into the other.
+    """
+
+    def __init__(self, builder: PlanBuilder):
+        self.builder = builder
+        self._paths_by_alias: Dict[str, List[PlanNode]] = {}
+        self._joins_by_pair: Dict[
+            FrozenSet[FrozenSet[str]], Tuple[Comparison, ...]
+        ] = {}
+
+    def access_paths(self, alias: str) -> List[PlanNode]:
+        paths = self._paths_by_alias.get(alias)
+        if paths is None:
+            paths = self.builder.candidate_access_paths(alias)
+            self._paths_by_alias[alias] = paths
+        return paths
+
+    def joins_between(
+        self, left: FrozenSet[str], right: FrozenSet[str]
+    ) -> Tuple[Comparison, ...]:
+        # joins_between is symmetric (it scans the query's predicate list in
+        # order, independent of side assignment), so one unordered key
+        # serves both orientations.
+        key = frozenset((left, right))
+        joins = self._joins_by_pair.get(key)
+        if joins is None:
+            joins = tuple(self.builder.query.joins_between(left, right))
+            self._joins_by_pair[key] = joins
+        return joins
+
+
 class RandomPlanGenerator:
     """Generates random valid plans for a bound query."""
 
-    def __init__(self, catalog: Catalog, config: Optional[DbConfig] = None, seed: int = 1234):
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: Optional[DbConfig] = None,
+        seed: int = 1234,
+        reuse_fragments: bool = True,
+    ):
         self.catalog = catalog
         self.config = config or catalog.config
         self.seed = seed
+        #: Reuse deterministic per-query construction work (candidate access
+        #: paths, join-predicate lookups) across the attempts of one
+        #: ``generate`` call.  The generated plan set is identical either
+        #: way (the rng draw sequence does not change); the toggle exists so
+        #: the differential test and the micro-benchmark can pin the naive
+        #: path.
+        self.reuse_fragments = reuse_fragments
 
     def generate(self, query: BoundQuery, count: int, query_name: str = "") -> List[Qgm]:
         """Generate up to ``count`` distinct random plans for ``query``."""
@@ -39,6 +97,7 @@ class RandomPlanGenerator:
         estimator = CardinalityEstimator(self.catalog, rewritten)
         cost_model = CostModel(self.catalog, self.config)
         builder = PlanBuilder(self.catalog, rewritten, estimator, cost_model)
+        cache = _FragmentCache(builder) if self.reuse_fragments else None
         # crc32 rather than hash(): str hashes are salted per process
         # (PYTHONHASHSEED), which made the generated plan set -- and therefore
         # what the learning engine discovers -- vary from run to run.
@@ -50,7 +109,7 @@ class RandomPlanGenerator:
         while len(plans) < count and attempts < count * 10:
             attempts += 1
             try:
-                tree = self._random_join_tree(builder, rewritten, rng)
+                tree = self._random_join_tree(builder, rewritten, rng, cache)
             except PlanError:
                 continue
             top = builder.finish_plan(tree)
@@ -71,12 +130,23 @@ class RandomPlanGenerator:
     # ------------------------------------------------------------------
 
     def _random_join_tree(
-        self, builder: PlanBuilder, query: BoundQuery, rng: random.Random
+        self,
+        builder: PlanBuilder,
+        query: BoundQuery,
+        rng: random.Random,
+        cache: Optional[_FragmentCache] = None,
     ) -> PlanNode:
-        """Build one random bushy join tree covering every table of the query."""
+        """Build one random bushy join tree covering every table of the query.
+
+        Alias sets are tracked alongside the fragments so connectivity checks
+        and join-predicate lookups run against cached frozensets instead of
+        walking each fragment subtree every time.
+        """
         fragments: List[PlanNode] = []
+        alias_sets: List[FrozenSet[str]] = []
         for alias in query.aliases:
-            fragments.append(self._random_access_path(builder, alias, rng))
+            fragments.append(self._random_access_path(builder, alias, rng, cache))
+            alias_sets.append(frozenset((alias,)))
         if not fragments:
             raise PlanError("query has no tables")
 
@@ -84,7 +154,13 @@ class RandomPlanGenerator:
             connectable = []
             for i in range(len(fragments)):
                 for j in range(i + 1, len(fragments)):
-                    if builder.join_predicates_between(fragments[i], fragments[j]):
+                    if cache is not None:
+                        connected = cache.joins_between(alias_sets[i], alias_sets[j])
+                    else:
+                        connected = builder.join_predicates_between(
+                            fragments[i], fragments[j]
+                        )
+                    if connected:
                         connectable.append((i, j))
             if not connectable:
                 # Disconnected graph: fall back to a cross product.
@@ -92,19 +168,39 @@ class RandomPlanGenerator:
             else:
                 i, j = rng.choice(connectable)
             outer, inner = fragments[i], fragments[j]
+            outer_aliases, inner_aliases = alias_sets[i], alias_sets[j]
             if rng.random() < 0.5:
                 outer, inner = inner, outer
+                outer_aliases, inner_aliases = inner_aliases, outer_aliases
             join_type = rng.choice(JOIN_TYPES)
             bloom = join_type is PopType.HSJOIN and rng.random() < 0.4
-            joined = builder.make_join(join_type, outer, inner, bloom_filter=bloom)
+            join_predicates = (
+                cache.joins_between(outer_aliases, inner_aliases)
+                if cache is not None
+                else None
+            )
+            joined = builder.make_join(
+                join_type, outer, inner, bloom_filter=bloom,
+                join_predicates=join_predicates,
+            )
             fragments = [f for k, f in enumerate(fragments) if k not in (i, j)]
+            alias_sets = [s for k, s in enumerate(alias_sets) if k not in (i, j)]
             fragments.append(joined)
+            alias_sets.append(outer_aliases | inner_aliases)
         return fragments[0]
 
     @staticmethod
     def _random_access_path(
-        builder: PlanBuilder, alias: str, rng: random.Random
+        builder: PlanBuilder,
+        alias: str,
+        rng: random.Random,
+        cache: Optional[_FragmentCache] = None,
     ) -> PlanNode:
+        if cache is not None:
+            # Same rng draw as the naive path (the candidate list has the
+            # same length and order); copied because executions annotate
+            # plan nodes in place.
+            return rng.choice(cache.access_paths(alias)).copy()
         candidates = builder.candidate_access_paths(alias)
         return rng.choice(candidates)
 

@@ -9,7 +9,7 @@ system serves, and knowledge-base lifecycle management (size cap, eviction,
 incremental index maintenance).
 """
 
-from repro.service.config import ServiceConfig
+from repro.service.config import ServiceConfig, ShardedServiceConfig
 from repro.service.feedback import (
     FeedbackMonitor,
     LearningTask,
@@ -23,8 +23,15 @@ from repro.service.service import (
     ServiceResponse,
     serve_workload,
 )
+from repro.service.sharded import (
+    ConsistentHashRouter,
+    ShardedGaloService,
+    WorkerCrashedError,
+    serve_workload_sharded,
+)
 
 __all__ = [
+    "ConsistentHashRouter",
     "FeedbackMonitor",
     "GaloService",
     "LearningTask",
@@ -33,6 +40,10 @@ __all__ = [
     "ServiceMetrics",
     "ServiceRequest",
     "ServiceResponse",
+    "ShardedGaloService",
+    "ShardedServiceConfig",
+    "WorkerCrashedError",
     "serve_workload",
+    "serve_workload_sharded",
     "sql_fingerprint",
 ]

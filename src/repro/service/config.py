@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 @dataclass
@@ -102,3 +102,90 @@ class ServiceConfig:
             raise ValueError(
                 "kb_checkpoint_interval_seconds requires kb_checkpoint_directory"
             )
+
+
+@dataclass
+class ShardedServiceConfig:
+    """Knobs of :class:`repro.service.sharded.ShardedGaloService`.
+
+    Topology
+    --------
+    ``num_workers`` worker *processes*, each running a full
+    :class:`GaloService` over its own database + engine + KB replica.
+    Requests are routed by consistent hash of the SQL fingerprint
+    (``routing_key`` overrides the key function, e.g. for per-tenant
+    routing); ``virtual_nodes`` controls ring smoothness.
+
+    Knowledge-base propagation
+    --------------------------
+    With ``kb_directory`` set, the worker on ``learner_shard`` keeps
+    background learning enabled and publishes atomic, version-stamped
+    checkpoints there at most every ``kb_publish_interval_seconds``; every
+    other worker disables its own learner and instead polls the version
+    stamp every ``kb_poll_interval_seconds``, hot-reloading on a bump
+    without pausing serving.  ``learner_shard=None`` makes every worker
+    learn locally (no propagation -- fine for a single shard).
+
+    Fault handling
+    --------------
+    A worker process that dies fails only its in-flight requests (typed
+    ``WorkerCrashedError`` responses) and, with ``restart_crashed_workers``,
+    is respawned -- reloading the latest KB checkpoint on the way up -- at
+    most ``max_worker_restarts`` times per shard.
+    """
+
+    #: Worker processes (shards).
+    num_workers: int = 2
+    #: Per-shard admission cap: in-flight requests beyond it are rejected.
+    max_pending_per_shard: int = 32
+    #: Per-worker service configuration (learning/checkpoint fields are
+    #: overridden per shard according to ``learner_shard``/``kb_directory``).
+    worker_config: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Shared checkpoint directory for KB propagation (None = no propagation).
+    kb_directory: Optional[str] = None
+    #: How often non-learner workers poll the checkpoint version stamp.
+    kb_poll_interval_seconds: float = 0.5
+    #: How often the learner shard publishes a (dirty) checkpoint.
+    kb_publish_interval_seconds: float = 2.0
+    #: Shard index whose worker runs the background learner (None = all do,
+    #: without propagation).
+    learner_shard: Optional[int] = 0
+    #: Respawn dead worker processes (in-flight requests still fail typed).
+    restart_crashed_workers: bool = True
+    #: Restart budget per shard; beyond it the shard stays down and its
+    #: requests are answered with typed errors.
+    max_worker_restarts: int = 3
+    #: Routing key function ``(sql, query_name) -> str``; None = SQL
+    #: fingerprint (whitespace-normalized hash, the feedback monitor's key).
+    routing_key: Optional[Callable[[str, str], str]] = None
+    #: Virtual nodes per shard on the consistent-hash ring.
+    virtual_nodes: int = 64
+    #: ``multiprocessing`` start method; spawn is the portable default and
+    #: the only one safe under a threaded/asyncio parent.
+    start_method: str = "spawn"
+    #: Bound on worker startup (workers build their database replica here).
+    start_timeout_seconds: float = 300.0
+    #: How often the router checks worker liveness.
+    watchdog_interval_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.max_pending_per_shard < 1:
+            raise ValueError("max_pending_per_shard must be >= 1")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.kb_poll_interval_seconds <= 0:
+            raise ValueError("kb_poll_interval_seconds must be > 0")
+        if self.kb_publish_interval_seconds <= 0:
+            raise ValueError("kb_publish_interval_seconds must be > 0")
+        if self.learner_shard is not None and not (
+            0 <= self.learner_shard < self.num_workers
+        ):
+            raise ValueError("learner_shard must be a valid shard index")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.start_timeout_seconds <= 0:
+            raise ValueError("start_timeout_seconds must be > 0")
+        if self.watchdog_interval_seconds <= 0:
+            raise ValueError("watchdog_interval_seconds must be > 0")

@@ -58,6 +58,11 @@ class ServiceResponse:
 
     ``status`` is ``"ok"``, ``"rejected"`` (admission control shed the
     request before execution) or ``"error"`` (planning/execution raised).
+    On errors ``error_type`` carries the exception class name (e.g.
+    ``"WorkerCrashedError"`` from the sharded router) so callers can branch
+    without parsing the message.  ``shard`` is the worker index that served
+    the request under :class:`repro.service.sharded.ShardedGaloService`
+    (None in single-process serving).
     """
 
     query_name: str
@@ -71,6 +76,8 @@ class ServiceResponse:
     matched_template_ids: List[str] = field(default_factory=list)
     max_q_error: float = 1.0
     error: str = ""
+    error_type: str = ""
+    shard: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -333,6 +340,7 @@ class GaloService:
                 ServiceResponse(
                     query_name=query_name, sql=sql, status="error",
                     wall_ms=wall_ms, error=f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__,
                 ),
                 None,
             )

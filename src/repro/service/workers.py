@@ -1,0 +1,217 @@
+"""Picklable worker factories for the sharded serving tier.
+
+A :class:`repro.service.sharded.ShardedGaloService` worker process owns its
+own :class:`~repro.engine.database.Database` + engines + KB replica, so the
+parent cannot ship a live ``Galo`` over the spawn boundary -- it ships a
+*factory*: a small picklable object (primitives only) that the child calls
+once to build everything locally.  Factories must live in an importable
+module (``multiprocessing`` spawn re-imports them in the child), which is why
+they are package code rather than test helpers.
+
+Two stock factories cover the repo's needs:
+
+- :class:`WorkloadGaloFactory` -- a named workload (``"tpcds"`` /
+  ``"client"``) built deterministically from
+  :class:`~repro.experiments.harness.ExperimentSettings`; used by the
+  benchmarks and examples.
+- :class:`MiniGaloFactory` -- the small skewed star schema the test suite
+  uses, duplicated here as package code so spawn children can build it.
+
+Anything callable returning a ``Galo`` (and picklable) works as a factory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.galo import Galo
+from repro.core.learning.engine import LearningConfig
+from repro.core.matching.engine import MatchingConfig
+from repro.engine.config import DbConfig
+from repro.engine.database import Database
+from repro.engine.schema import Index, make_schema
+from repro.engine.types import DataType
+from repro.experiments.harness import ExperimentSettings
+
+
+@dataclass
+class WorkloadGaloFactory:
+    """Builds a ``Galo`` over one of the named workloads, deterministically.
+
+    Every worker process constructing from the same factory ends up with a
+    bit-identical database (the workload generators are seeded and hash-seed
+    independent), which is what makes sharded results comparable to a
+    single-process service built from the same factory.
+    """
+
+    workload: str = "tpcds"
+    settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+
+    def __call__(self) -> Galo:
+        from repro.experiments.harness import build_bundle
+
+        return build_bundle(self.workload, self.settings).galo
+
+
+_MINI_CATEGORIES = ["Music", "Jewelry", "Books", "Sports", "Home"]
+
+
+def build_mini_star_database(
+    seed: int = 0, sales_rows: int = 4000, config: Optional[DbConfig] = None
+) -> Database:
+    """A 4-table star schema: SALES fact plus ITEM / DATE_DIM / OUTLET dims.
+
+    Small but skewed and correlated (categories follow a power law, i_class
+    is determined by the item, sales only hit the last year of dates), so
+    optimizer mis-estimation -- and therefore learning opportunities -- are
+    present.  Deterministic in ``seed``.
+    """
+    db = Database(config=config or DbConfig())
+    db.create_table(
+        make_schema(
+            "ITEM",
+            [
+                ("i_item_sk", DataType.INTEGER),
+                ("i_category", DataType.VARCHAR),
+                ("i_class", DataType.VARCHAR),
+                ("i_price", DataType.DECIMAL),
+            ],
+            [Index("I_ITEM_PK", "ITEM", "i_item_sk", unique=True, cluster_ratio=0.99)],
+        )
+    )
+    db.create_table(
+        make_schema(
+            "DATE_DIM",
+            [
+                ("d_date_sk", DataType.INTEGER),
+                ("d_date", DataType.DATE),
+                ("d_year", DataType.INTEGER),
+            ],
+            [Index("D_DATE_PK", "DATE_DIM", "d_date_sk", unique=True, cluster_ratio=0.99)],
+        )
+    )
+    db.create_table(
+        make_schema(
+            "OUTLET",
+            [
+                ("o_outlet_sk", DataType.INTEGER),
+                ("o_state", DataType.VARCHAR),
+            ],
+            [Index("O_OUTLET_PK", "OUTLET", "o_outlet_sk", unique=True, cluster_ratio=0.99)],
+        )
+    )
+    db.create_table(
+        make_schema(
+            "SALES",
+            [
+                ("s_item_sk", DataType.INTEGER),
+                ("s_date_sk", DataType.INTEGER),
+                ("s_outlet_sk", DataType.INTEGER),
+                ("s_quantity", DataType.INTEGER),
+                ("s_price", DataType.DECIMAL),
+            ],
+            [
+                Index("S_DATE_IDX", "SALES", "s_date_sk", cluster_ratio=0.97),
+                Index("S_ITEM_IDX", "SALES", "s_item_sk", cluster_ratio=0.2),
+                Index("S_OUTLET_IDX", "SALES", "s_outlet_sk", cluster_ratio=0.25),
+            ],
+        )
+    )
+
+    rng = random.Random(seed)
+    db.load_rows(
+        "ITEM",
+        [
+            {
+                "i_item_sk": sk,
+                "i_category": _MINI_CATEGORIES[
+                    min(
+                        len(_MINI_CATEGORIES) - 1,
+                        int(len(_MINI_CATEGORIES) * rng.random() ** 1.5),
+                    )
+                ],
+                "i_class": f"class_{sk % 4}",
+                "i_price": round(rng.uniform(1, 200), 2),
+            }
+            for sk in range(1200)
+        ],
+    )
+    # 10 years of dates; sales only hit the last year.
+    db.load_rows(
+        "DATE_DIM",
+        [
+            {"d_date_sk": sk, "d_date": 9000 + sk, "d_year": 2009 + sk // 365}
+            for sk in range(3650)
+        ],
+    )
+    db.load_rows(
+        "OUTLET",
+        [{"o_outlet_sk": sk, "o_state": ["CA", "NY", "TX", "WA"][sk % 4]} for sk in range(40)],
+    )
+    sales = [
+        {
+            "s_item_sk": min(1199, int(1200 * rng.random() ** 1.3)),
+            "s_date_sk": rng.randint(3285, 3649),
+            "s_outlet_sk": rng.randrange(40),
+            "s_quantity": rng.randint(1, 10),
+            "s_price": round(rng.uniform(1, 300), 2),
+        }
+        for _ in range(sales_rows)
+    ]
+    sales.sort(key=lambda row: row["s_date_sk"])
+    db.load_rows("SALES", sales)
+    return db
+
+
+def mini_star_queries() -> list:
+    """(name, sql) analytic queries over the mini star schema."""
+    return [
+        (
+            "q_join2",
+            "SELECT i_category, COUNT(*) FROM sales, item "
+            "WHERE s_item_sk = i_item_sk AND i_category = 'Jewelry' GROUP BY i_category",
+        ),
+        (
+            "q_join3",
+            "SELECT i_category, SUM(s_price) FROM sales, item, date_dim "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND d_year >= 2018 "
+            "GROUP BY i_category",
+        ),
+        (
+            "q_join4",
+            "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk AND s_outlet_sk = o_outlet_sk "
+            "AND i_category = 'Music' AND o_state = 'CA' GROUP BY i_category, o_state",
+        ),
+        (
+            "q_filter_range",
+            "SELECT i_class, COUNT(*) FROM sales, item, date_dim "
+            "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk "
+            "AND d_date BETWEEN 12500 AND 12600 GROUP BY i_class",
+        ),
+    ]
+
+
+@dataclass
+class MiniGaloFactory:
+    """Builds a ``Galo`` over the mini star schema (tests + quick demos)."""
+
+    seed: int = 0
+    sales_rows: int = 4000
+    max_joins: int = 4
+    random_plans_per_subquery: int = 3
+    max_variants: int = 1
+
+    def __call__(self) -> Galo:
+        database = build_mini_star_database(seed=self.seed, sales_rows=self.sales_rows)
+        return Galo(
+            database,
+            learning_config=LearningConfig(
+                max_joins=self.max_joins,
+                random_plans_per_subquery=self.random_plans_per_subquery,
+                max_variants=self.max_variants,
+            ),
+            matching_config=MatchingConfig(max_joins=self.max_joins),
+        )

@@ -543,6 +543,7 @@ class TestKbCheckpointing:
         kb.save(str(tmp_path))
         assert not kb.dirty
         assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "checkpoint.json",  # version stamp, written last as commit point
             "knowledge_base.nt",
             "template_index.json",
             "templates.json",

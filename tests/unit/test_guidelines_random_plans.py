@@ -163,3 +163,66 @@ class TestRandomPlanGenerator:
         plans = mini_db.random_plans("SELECT i_category FROM item WHERE i_category = 'Music'", 3)
         assert plans
         assert all(plan.join_count == 0 for plan in plans)
+
+
+class TestFragmentCacheDifferential:
+    """The fragment cache is a pure speedup: plan sets must be identical."""
+
+    QUERIES = [
+        THREE_WAY,
+        "SELECT i_category, o_state, COUNT(*) FROM sales, item, date_dim, outlet "
+        "WHERE s_item_sk = i_item_sk AND s_date_sk = d_date_sk "
+        "AND s_outlet_sk = o_outlet_sk AND i_category = 'Music' "
+        "GROUP BY i_category, o_state",
+        "SELECT i_class, COUNT(*) FROM sales, item "
+        "WHERE s_item_sk = i_item_sk AND s_price > 40 GROUP BY i_class",
+        "SELECT i_category FROM item WHERE i_category = 'Music'",
+    ]
+
+    @staticmethod
+    def _fingerprint(qgm):
+        """Deep structural + annotation fingerprint of one plan."""
+        parts = []
+        for node in qgm.nodes():
+            parts.append(
+                (
+                    node.operator_id,
+                    node.pop_type.value,
+                    node.table_alias,
+                    node.index_name,
+                    round(node.estimated_cost, 6),
+                    round(node.estimated_cardinality, 6),
+                    tuple(sorted(node.properties)),
+                )
+            )
+        return tuple(parts)
+
+    def test_cached_and_naive_generate_identical_plan_sets(self, mini_db):
+        from repro.engine.optimizer.random_plans import RandomPlanGenerator
+        from repro.engine.sql.binder import bind
+        from repro.engine.sql.parser import parse_select
+
+        for sql in self.QUERIES:
+            query = bind(parse_select(sql), mini_db.catalog, sql)
+            naive = RandomPlanGenerator(mini_db.catalog, reuse_fragments=False)
+            cached = RandomPlanGenerator(mini_db.catalog, reuse_fragments=True)
+            naive_plans = naive.generate(query, 8)
+            cached_plans = cached.generate(query, 8)
+            assert [self._fingerprint(p) for p in naive_plans] == [
+                self._fingerprint(p) for p in cached_plans
+            ]
+
+    def test_cached_plans_are_independently_mutable(self, mini_db):
+        """Cached access-path nodes are copied per pick, never shared."""
+        from repro.engine.optimizer.random_plans import RandomPlanGenerator
+        from repro.engine.sql.binder import bind
+        from repro.engine.sql.parser import parse_select
+
+        sql = THREE_WAY
+        query = bind(parse_select(sql), mini_db.catalog, sql)
+        plans = RandomPlanGenerator(mini_db.catalog).generate(query, 6)
+        scans = [node for plan in plans for node in plan.nodes() if node.is_scan]
+        assert len(scans) == len(set(map(id, scans)))
+        # Executor-style in-place annotation on one plan must not leak.
+        scans[0].actual_cardinality = 123456
+        assert all(node.actual_cardinality != 123456 for node in scans[1:])

@@ -1,0 +1,140 @@
+"""Checkpoint versioning: the propagation protocol under sharded serving.
+
+A designated learner publishes knowledge-base checkpoints; follower shards
+poll the version stamp and hot-reload when it bumps.  These tests pin the
+single-process pieces that protocol rests on: monotonic version assignment
+on save, the stamp being the commit point, and ``maybe_reload`` semantics
+(no-op / bump / force).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.galo import Galo
+from repro.core.knowledge_base import KnowledgeBase, abstract_template_from_plan
+from repro.core.matching.segmenter import segment_plan
+
+
+def seeded_kb(db, queries, name_prefix="ckpt"):
+    kb = KnowledgeBase()
+    for number, sql in enumerate(queries):
+        for segment in segment_plan(db.explain(sql), max_joins=3):
+            abstract_template_from_plan(
+                kb,
+                segment,
+                name=f"{name_prefix}{number}-{len(kb)}",
+                source_workload="unit",
+                source_query=f"q{number}",
+                widen=2.0,
+                improvement=0.25,
+                catalog=db.catalog,
+            )
+    assert len(kb) > 0
+    return kb
+
+
+@pytest.fixture()
+def kb(mini_db, mini_queries):
+    return seeded_kb(mini_db, [sql for _, sql in mini_queries[:2]])
+
+
+class TestCheckpointVersion:
+    def test_fresh_kb_is_version_zero(self):
+        assert KnowledgeBase().checkpoint_version == 0
+
+    def test_save_bumps_monotonically(self, kb, tmp_path):
+        directory = str(tmp_path)
+        assert kb.save(directory) == 1
+        assert kb.checkpoint_version == 1
+        assert kb.save(directory) == 2
+        assert KnowledgeBase.checkpoint_version_on_disk(directory) == 2
+
+    def test_save_respects_foreign_stamp_on_disk(self, kb, tmp_path):
+        """Two publishers writing the same directory never reuse a version."""
+        directory = str(tmp_path)
+        kb.save(directory)
+        other = KnowledgeBase.load(directory)
+        other.save(directory)  # v2 from the second publisher
+        # The first publisher's in-memory version is stale (1), but its next
+        # save must still advance past what is on disk.
+        assert kb.save(directory) == 3
+
+    def test_version_on_disk_handles_missing_and_garbage(self, tmp_path):
+        directory = str(tmp_path)
+        assert KnowledgeBase.checkpoint_version_on_disk(directory) == 0
+        stamp = os.path.join(directory, KnowledgeBase.CHECKPOINT_VERSION_FILE)
+        with open(stamp, "w", encoding="utf-8") as handle:
+            handle.write("not json {")
+        assert KnowledgeBase.checkpoint_version_on_disk(directory) == 0
+
+    def test_load_adopts_disk_version(self, kb, tmp_path):
+        directory = str(tmp_path)
+        kb.save(directory)
+        kb.save(directory)
+        loaded = KnowledgeBase.load(directory)
+        assert loaded.checkpoint_version == 2
+        assert len(loaded) == len(kb)
+
+    def test_checkpoint_exists(self, kb, tmp_path):
+        assert not KnowledgeBase.checkpoint_exists(str(tmp_path))
+        kb.save(str(tmp_path))
+        assert KnowledgeBase.checkpoint_exists(str(tmp_path))
+
+    def test_stamp_records_template_count(self, kb, tmp_path):
+        kb.save(str(tmp_path))
+        stamp = os.path.join(str(tmp_path), KnowledgeBase.CHECKPOINT_VERSION_FILE)
+        with open(stamp, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        assert payload["templates"] == len(kb)
+
+
+class TestMaybeReload:
+    def test_noop_when_disk_is_not_newer(self, mini_db, kb, tmp_path):
+        directory = str(tmp_path)
+        galo = Galo(mini_db, knowledge_base=kb)
+        galo.save_knowledge_base(directory)
+        assert galo.maybe_reload_knowledge_base(directory) is None
+        assert galo.knowledge_base is kb  # untouched, matching stays warm
+
+    def test_noop_when_no_checkpoint(self, mini_db, tmp_path):
+        galo = Galo(mini_db)
+        assert galo.maybe_reload_knowledge_base(str(tmp_path)) is None
+
+    def test_reload_on_version_bump(self, mini_db, mini_queries, kb, tmp_path):
+        directory = str(tmp_path)
+        publisher = Galo(mini_db, knowledge_base=kb)
+        publisher.save_knowledge_base(directory)
+
+        follower = Galo(mini_db)
+        assert follower.maybe_reload_knowledge_base(directory, force=True) == 1
+        assert len(follower.knowledge_base) == len(kb)
+
+        # Publisher learns more and republishes; the follower picks it up.
+        before = len(publisher.knowledge_base)
+        for segment in segment_plan(mini_db.explain(mini_queries[2][1]), max_joins=3):
+            abstract_template_from_plan(
+                publisher.knowledge_base,
+                segment,
+                name=f"extra-{len(publisher.knowledge_base)}",
+                source_workload="unit",
+                source_query="q-extra",
+                widen=2.0,
+                improvement=0.25,
+                catalog=mini_db.catalog,
+            )
+        assert len(publisher.knowledge_base) > before
+        publisher.save_knowledge_base(directory)
+        assert follower.maybe_reload_knowledge_base(directory) == 2
+        assert len(follower.knowledge_base) == len(publisher.knowledge_base)
+        # The reloaded KB is wired into both engines, not just swapped in.
+        assert follower.matching_engine.knowledge_base is follower.knowledge_base
+        assert follower.learning_engine.knowledge_base is follower.knowledge_base
+
+    def test_force_reload_same_version(self, mini_db, kb, tmp_path):
+        directory = str(tmp_path)
+        galo = Galo(mini_db, knowledge_base=kb)
+        galo.save_knowledge_base(directory)
+        assert galo.maybe_reload_knowledge_base(directory, force=True) == 1
