@@ -13,6 +13,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import platform
+import subprocess
+import time
 
 import pytest
 
@@ -79,14 +82,53 @@ def settings() -> ExperimentSettings:
     return chosen
 
 
+def _git_revision() -> str:
+    """Short commit SHA of the benched tree ("unknown" outside a checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+    except ImportError:
+        return "absent"
+    return numpy.__version__
+
+
+#: Provenance stamped into every BENCH_*.json record: comparing qps across
+#: commits is only meaningful when the records say what produced them.
+BENCH_PROVENANCE = {
+    "git_sha": _git_revision(),
+    "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "python_version": platform.python_version(),
+    "numpy_version": _numpy_version(),
+    "cpu_count": os.cpu_count(),
+}
+
+
 @pytest.fixture(autouse=True)
 def record_engine_config(request):
-    """Stamp every benchmark's JSON record with the resolved column backend
-    and group-by kernel flag, so perf trajectories are comparable per leg."""
+    """Stamp every benchmark's JSON record with run provenance (git SHA,
+    timestamp, interpreter/numpy versions, core count) plus the resolved
+    column backend and group-by kernel flag, so perf trajectories are
+    comparable per leg and attributable per commit."""
     yield
     benchmark = request.node.funcargs.get("benchmark") if hasattr(request.node, "funcargs") else None
     if benchmark is None:
         return
+    for key, value in BENCH_PROVENANCE.items():
+        benchmark.extra_info.setdefault(key, value)
     from repro.engine.config import DbConfig
 
     config = DbConfig(

@@ -29,6 +29,7 @@ from repro.core.matching.engine import (
     QueryReoptimization,
 )
 from repro.engine.database import Database
+from repro.obs.tracing import NULL_SPAN
 
 #: Public alias matching the terminology used throughout the docs.
 ReoptimizationResult = QueryReoptimization
@@ -64,11 +65,14 @@ class Galo:
         return self.learning_engine.learn_workload(queries, workload_name)
 
     def learn_query(
-        self, sql: str, query_name: str = "", workload_name: str = ""
+        self, sql: str, query_name: str = "", workload_name: str = "", span=NULL_SPAN
     ):
-        """Learn over a single query (convenience wrapper)."""
+        """Learn over a single query (convenience wrapper).
+
+        ``span`` is forwarded to the learning engine for per-phase tracing.
+        """
         return self.learning_engine.learn_query(
-            sql, query_name=query_name, workload_name=workload_name
+            sql, query_name=query_name, workload_name=workload_name, span=span
         )
 
     # -- online ---------------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.engine.plan.explain import explain_summary
 from repro.engine.plan.physical import PlanNode, Qgm
 from repro.engine.sql.binder import BoundQuery
 from repro.errors import LearningError
+from repro.obs.tracing import NULL_SPAN
 
 
 @dataclass
@@ -192,12 +193,24 @@ class LearningEngine:
         return report
 
     def learn_query(
-        self, sql: str, query_name: str = "", workload_name: str = ""
+        self,
+        sql: str,
+        query_name: str = "",
+        workload_name: str = "",
+        span=NULL_SPAN,
     ) -> QueryLearningRecord:
-        """Analyze one workload query and store any discovered rewrites."""
+        """Analyze one workload query and store any discovered rewrites.
+
+        ``span`` (default: the no-op span) receives one child span per phase
+        -- ``bind``, ``generate_subqueries``, ``validate_parent`` and one
+        ``analyze_subquery`` per analyzed sub-query.
+        """
         started = time.perf_counter()
-        bound = self.database.bind(sql)
-        subqueries = generate_subqueries(bound, self.config.max_joins)
+        with span.child("bind"):
+            bound = self.database.bind(sql)
+        with span.child("generate_subqueries") as generate_span:
+            subqueries = generate_subqueries(bound, self.config.max_joins)
+            generate_span.set("subqueries", len(subqueries))
         analyzed = 0
         templates: List[str] = []
         improvements: List[float] = []
@@ -210,8 +223,11 @@ class LearningEngine:
         memo = self._memo_for_scope()
         parent_context: Optional[_ParentContext] = None
         if self.config.validate_on_parent:
-            parent_qgm = self.database.optimizer.optimize(bound, query_name=query_name)
-            parent_run = self.database.execute_plan(parent_qgm, memo=memo)
+            with span.child("validate_parent"):
+                parent_qgm = self.database.optimizer.optimize(
+                    bound, query_name=query_name
+                )
+                parent_run = self.database.execute_plan(parent_qgm, memo=memo)
             parent_context = _ParentContext(
                 query=bound, sql=sql, elapsed_ms=parent_run.elapsed_ms
             )
@@ -222,13 +238,16 @@ class LearningEngine:
                     continue
                 self._seen_subqueries.add(key)
             analyzed += 1
-            template_id, improvement = self._analyze_subquery(
-                subquery,
-                query_name=query_name,
-                workload_name=workload_name,
-                parent_context=parent_context,
-                memo=memo,
-            )
+            with span.child("analyze_subquery") as subquery_span:
+                template_id, improvement = self._analyze_subquery(
+                    subquery,
+                    query_name=query_name,
+                    workload_name=workload_name,
+                    parent_context=parent_context,
+                    memo=memo,
+                )
+                if template_id is not None:
+                    subquery_span.set("template_id", template_id)
             if template_id is not None:
                 templates.append(template_id)
                 improvements.append(improvement)

@@ -29,6 +29,7 @@ from repro.engine.database import Database
 from repro.engine.optimizer.guidelines import GuidelineDocument, parse_guidelines
 from repro.engine.plan.physical import PlanNode, Qgm
 from repro.engine.sql.binder import BoundQuery
+from repro.obs.tracing import NULL_SPAN
 
 
 @dataclass
@@ -304,21 +305,33 @@ class MatchingEngine:
                 result.reoptimized_elapsed_ms = reoptimized_run.elapsed_ms
         return result
 
-    def steer(self, sql: str, query_name: str = "") -> SteeringDecision:
+    def steer(self, sql: str, query_name: str = "", span=NULL_SPAN) -> SteeringDecision:
         """Match and (when possible) re-plan one query without executing it.
 
         When no template matches, ``qgm`` is the baseline plan; the caller
-        executes whichever plan the decision carries exactly once.
+        executes whichever plan the decision carries exactly once.  ``span``
+        (default: the no-op span) receives ``plan`` / ``match`` / ``steer``
+        child spans for the three phases.
         """
-        baseline_qgm = self.database.explain(sql, query_name=query_name)
-        matches, match_time_ms = self.match_plan(baseline_qgm)
+        with span.child("plan") as plan_span:
+            baseline_qgm = self.database.explain(sql, query_name=query_name)
+            plan_span.set("operators", len(baseline_qgm.nodes()))
+        with span.child("match") as match_span:
+            matches, match_time_ms = self.match_plan(baseline_qgm)
+            match_span.set("matches", len(matches))
         guideline_document = self.build_guidelines(matches)
         if guideline_document.is_empty:
             qgm = baseline_qgm
         else:
-            qgm = self.database.explain(
-                sql, guidelines=guideline_document, query_name=f"{query_name} (steered)"
-            )
+            with span.child("steer") as steer_span:
+                qgm = self.database.explain(
+                    sql,
+                    guidelines=guideline_document,
+                    query_name=f"{query_name} (steered)",
+                )
+                steer_span.set(
+                    "templates", [match.template.template_id for match in matches]
+                )
         return SteeringDecision(
             query_name=query_name,
             sql=sql,

@@ -105,6 +105,13 @@ class DbConfig:
     noise_seed: int = 7
     noise_level: float = 0.06
 
+    #: When an execution span is active (serving tier traced a request),
+    #: record per-plan-node child spans -- operator timings, row counts,
+    #: memo hit/miss deltas.  Off, the executors still run under the request
+    #: "execute" span but emit no node-level detail.  Has no effect unless
+    #: the caller installed an execution span, so the default is free.
+    trace_execution: bool = True
+
     # join-number threshold used by GALO when segmenting queries; kept here
     # because both the engine's explain tooling and GALO read it.
     max_join_threshold: int = 4

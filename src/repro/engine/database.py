@@ -26,6 +26,7 @@ from repro.engine.executor.factory import make_executor
 from repro.engine.executor.memo import ExecutionMemo
 from repro.engine.optimizer.guidelines import GuidelineDocument
 from repro.engine.optimizer.optimizer import Optimizer
+from repro.obs.tracing import execution_tracing
 from repro.engine.optimizer.random_plans import RandomPlanGenerator
 from repro.engine.plan.physical import Qgm
 from repro.engine.schema import Index, TableSchema
@@ -218,10 +219,19 @@ class Database:
         self.executor = make_executor(self.catalog, self.config)
 
     def execute_plan(
-        self, qgm: Qgm, memo: Optional[ExecutionMemo] = None
+        self, qgm: Qgm, memo: Optional[ExecutionMemo] = None, span=None
     ) -> ExecutionResult:
         """Execute a plan; ``memo`` shares scan subtrees across plans (see
-        :mod:`repro.engine.executor.memo`; ignored by the row engine)."""
+        :mod:`repro.engine.executor.memo`; ignored by the row engine).
+
+        ``span`` (a recording :class:`repro.obs.Span`) activates per-node
+        child spans for this execution when ``DbConfig.trace_execution`` is
+        on; tracing only reads runtime state, so the result is bit-identical
+        either way.
+        """
+        if span is not None and span.recording and self.config.trace_execution:
+            with execution_tracing(span):
+                return self.executor.execute(qgm, memo=memo)
         return self.executor.execute(qgm, memo=memo)
 
     def execute_sql(
@@ -239,6 +249,7 @@ class Database:
         guidelines: Union[GuidelineDocument, str, None] = None,
         query_name: str = "",
         memo: Optional[ExecutionMemo] = None,
+        span=None,
     ) -> "Tuple[Qgm, ExecutionResult]":
         """Optimize and execute, returning the executed plan alongside the result.
 
@@ -247,7 +258,7 @@ class Database:
         live on the :class:`ExecutionResult`, and q-errors pair the two.
         """
         qgm = self.explain(sql, guidelines=guidelines, query_name=query_name)
-        return qgm, self.execute_plan(qgm, memo=memo)
+        return qgm, self.execute_plan(qgm, memo=memo, span=span)
 
     def benchmark_plan(self, qgm: Qgm, runs: int = 5) -> BatchMeasurement:
         """Benchmark a plan the way the paper uses ``db2batch``."""

@@ -23,11 +23,16 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.engine.catalog import Catalog
 from repro.engine.config import DbConfig
 from repro.engine.executor.bufferpool import BufferPool
-from repro.engine.executor.metrics import RuntimeMetrics
+from repro.engine.executor.metrics import (
+    RuntimeMetrics,
+    record_node_metric_deltas,
+    snapshot_metrics,
+)
 from repro.engine.expressions import ColumnRef, Comparison, Predicate, Row
 from repro.engine.plan.physical import PlanNode, PopType, Qgm
 from repro.engine.storage import TableData
 from repro.errors import PlanError
+from repro.obs.tracing import current_execution_span, execution_tracing
 
 
 class ExecutionResult:
@@ -203,8 +208,41 @@ class Executor:
         }.get(node.pop_type)
         if handler is None:
             raise PlanError(f"no executor for operator {node.pop_type}")
-        rows = handler(node, metrics, pool)
+        parent = current_execution_span()
+        if parent is None:
+            rows = handler(node, metrics, pool)
+        else:
+            rows = self._execute_node_traced(node, handler, metrics, pool, parent)
         node.actual_cardinality = len(rows)
+        return rows
+
+    def _execute_node_traced(
+        self,
+        node: PlanNode,
+        handler,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        parent,
+    ) -> List[Row]:
+        """Run ``handler`` under a per-node child span.
+
+        Spans only *read* metrics (a snapshot before and after), so traced
+        and untraced execution stay bit-identical.  The handler runs with
+        this node's span installed as the thread's execution span, so its
+        recursive ``_execute_node`` calls parent under it; metric deltas are
+        therefore per *subtree*, matching the span's own wall time.
+        """
+        before = snapshot_metrics(metrics)
+        with parent.child(node.pop_type.name.lower()) as span:
+            with execution_tracing(span):
+                rows = handler(node, metrics, pool)
+            span.set("operator_id", node.operator_id)
+            if node.table:
+                span.set("table", node.table)
+                if node.table_alias and node.table_alias != node.table:
+                    span.set("alias", node.table_alias)
+            span.set("rows", len(rows))
+            record_node_metric_deltas(span, before, snapshot_metrics(metrics))
         return rows
 
     # -- leaf operators -----------------------------------------------------

@@ -47,11 +47,16 @@ from repro.engine.executor.executor import (
     index_qualifying_row_ids,
 )
 from repro.engine.executor.memo import ExecutionMemo, MemoEntry
-from repro.engine.executor.metrics import RuntimeMetrics
+from repro.engine.executor.metrics import (
+    RuntimeMetrics,
+    record_node_metric_deltas,
+    snapshot_metrics,
+)
 from repro.engine.expressions import ColumnRef, conjunction_mask, filter_positions
 from repro.engine.plan.physical import PlanNode, PopType, Qgm
 from repro.engine.storage import TableData
 from repro.errors import PlanError
+from repro.obs.tracing import current_execution_span, execution_tracing
 
 
 class Batch:
@@ -403,8 +408,58 @@ class VectorizedExecutor:
         handler = self._handlers.get(node.pop_type)
         if handler is None:
             raise PlanError(f"no executor for operator {node.pop_type}")
-        batch = handler(node, metrics, pool, memo)
+        parent = current_execution_span()
+        if parent is None:
+            batch = handler(node, metrics, pool, memo)
+        else:
+            batch = self._execute_node_traced(
+                node, handler, metrics, pool, memo, parent
+            )
         node.actual_cardinality = batch.length
+        return batch
+
+    def _execute_node_traced(
+        self,
+        node: PlanNode,
+        handler,
+        metrics: RuntimeMetrics,
+        pool: BufferPool,
+        memo: Optional[ExecutionMemo],
+        parent,
+    ) -> Batch:
+        """Run ``handler`` under a per-node child span.
+
+        Spans only *read* runtime state (metric snapshots and the memo's
+        shared counters), so traced and untraced execution stay
+        bit-identical.  The handler runs with this node's span installed as
+        the thread's execution span, so recursive ``_execute_node`` calls
+        parent under it; metric and memo-counter deltas are therefore per
+        *subtree*, matching the span's own wall time.
+        """
+        before = snapshot_metrics(metrics)
+        # ``memo.counters`` is the one dict shared by every pinned() view, so
+        # reading deltas around the subtree sees hits/misses stored through
+        # any view of the same memo.
+        counters = memo.counters if memo is not None else None
+        hits_before = counters["hits"] if counters is not None else 0
+        misses_before = counters["misses"] if counters is not None else 0
+        with parent.child(node.pop_type.name.lower()) as span:
+            with execution_tracing(span):
+                batch = handler(node, metrics, pool, memo)
+            span.set("operator_id", node.operator_id)
+            if node.table:
+                span.set("table", node.table)
+                if node.table_alias and node.table_alias != node.table:
+                    span.set("alias", node.table_alias)
+            span.set("rows", batch.length)
+            record_node_metric_deltas(span, before, snapshot_metrics(metrics))
+            if counters is not None:
+                hits = counters["hits"] - hits_before
+                misses = counters["misses"] - misses_before
+                if hits:
+                    span.set("memo_hits", hits)
+                if misses:
+                    span.set("memo_misses", misses)
         return batch
 
     # -- memo plumbing -------------------------------------------------------

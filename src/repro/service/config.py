@@ -72,6 +72,27 @@ class ServiceConfig:
     kb_checkpoint_directory: Optional[str] = None
     #: Workload name recorded on templates learned online.
     online_workload_name: str = "online"
+    #: Request tracing (see :mod:`repro.obs`).  ``None`` defers to the
+    #: ``GALO_TRACE`` environment variable (off unless set), so the CI
+    #: tracing leg can flip the whole suite without touching configs.
+    #: Tracing only reads runtime state -- rows, counters and simulated
+    #: ``elapsed_ms`` are bit-identical with it on or off.
+    tracing_enabled: Optional[bool] = None
+    #: Finished traces kept in the in-memory ring (per service instance).
+    trace_store_capacity: int = 256
+    #: Request traces at or above this wall duration (ms) also land in the
+    #: slow-query log ring.
+    slow_query_threshold_ms: float = 250.0
+    #: Slow-query log ring size.
+    slow_query_log_capacity: int = 64
+
+    def resolved_tracing_enabled(self) -> bool:
+        """``tracing_enabled`` with ``None`` resolved via ``GALO_TRACE``."""
+        if self.tracing_enabled is None:
+            from repro.obs import env_tracing_default
+
+            return env_tracing_default()
+        return bool(self.tracing_enabled)
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -102,6 +123,12 @@ class ServiceConfig:
             raise ValueError(
                 "kb_checkpoint_interval_seconds requires kb_checkpoint_directory"
             )
+        if self.trace_store_capacity < 0:
+            raise ValueError("trace_store_capacity must be >= 0")
+        if self.slow_query_threshold_ms < 0:
+            raise ValueError("slow_query_threshold_ms must be >= 0")
+        if self.slow_query_log_capacity < 0:
+            raise ValueError("slow_query_log_capacity must be >= 0")
 
 
 @dataclass

@@ -39,6 +39,9 @@ class LearningTask:
     sql_hash: str
     max_q_error: float
     elapsed_ms: float
+    #: ``time.perf_counter()`` at enqueue (stamped by the service); lets the
+    #: learner trace report queue dwell.  0.0 = never enqueued.
+    enqueued_at: float = 0.0
 
 
 @dataclass

@@ -9,6 +9,27 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
+from repro.obs.prometheus import format_sample_value
+
+#: Counters every service instance starts with.  ``increment`` refuses names
+#: outside the registry (catching typo'd counter names at the call site);
+#: extensions declare theirs with :meth:`ServiceMetrics.register_counter`.
+DECLARED_COUNTERS = (
+    "submitted",
+    "completed",
+    "rejected",
+    "failed",
+    "steered",
+    "learning_enqueued",
+    "learning_dropped",
+    "learning_completed",
+    "learning_failed",
+    "templates_learned",
+    "templates_evicted",
+    "kb_checkpoints",
+    "kb_checkpoint_failures",
+)
+
 
 class ServiceMetrics:
     """Counters + request-latency percentiles for one service instance."""
@@ -19,19 +40,7 @@ class ServiceMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "submitted": 0,
-            "completed": 0,
-            "rejected": 0,
-            "failed": 0,
-            "steered": 0,
-            "learning_enqueued": 0,
-            "learning_dropped": 0,
-            "learning_completed": 0,
-            "learning_failed": 0,
-            "templates_learned": 0,
-            "templates_evicted": 0,
-        }
+        self._counters: Dict[str, int] = {name: 0 for name in DECLARED_COUNTERS}
         self._latencies_ms: List[float] = []
         self._latency_stride = 1
         self._latency_skip = 0
@@ -41,9 +50,19 @@ class ServiceMetrics:
         self._latency_min_ms: Optional[float] = None
         self._latency_max_ms: Optional[float] = None
 
+    def register_counter(self, name: str) -> None:
+        """Declare an extension counter (idempotent, never resets a value)."""
+        with self._lock:
+            self._counters.setdefault(name, 0)
+
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+            if name not in self._counters:
+                raise ValueError(
+                    f"unregistered counter {name!r}; declare it with "
+                    "register_counter() first"
+                )
+            self._counters[name] += amount
 
     def count(self, name: str) -> int:
         with self._lock:
@@ -194,14 +213,43 @@ class ServiceMetrics:
     #: Prefix for every exposed series (``galo_submitted``, ...).
     PROMETHEUS_PREFIX = "galo_"
 
+    #: ``# HELP`` text per metric (un-prefixed name); names absent here fall
+    #: back to a generic line so every exposed series carries metadata.
+    PROMETHEUS_HELP: Dict[str, str] = {
+        "submitted": "Requests admitted for execution.",
+        "completed": "Requests served to completion.",
+        "rejected": "Requests refused by admission control.",
+        "failed": "Requests that raised during serving.",
+        "steered": "Requests executed with a KB-steered plan.",
+        "learning_enqueued": "Queries enqueued for background learning.",
+        "learning_dropped": "Learning candidates dropped (queue full).",
+        "learning_completed": "Background learning tasks finished.",
+        "learning_failed": "Background learning tasks that raised.",
+        "templates_learned": "Plan templates added to the knowledge base.",
+        "templates_evicted": "Plan templates evicted by the capacity policy.",
+        "kb_checkpoints": "Knowledge-base checkpoints written.",
+        "kb_checkpoint_failures": "Knowledge-base checkpoint attempts that failed.",
+        "router_requests": "Requests accepted by the sharded router.",
+        "router_rejected": "Requests refused by per-shard admission control.",
+        "router_failed_shard_errors": "Requests failed because their shard was down.",
+        "router_crashed_requests": "In-flight requests failed by a worker crash.",
+        "worker_crashes": "Worker processes observed dead by the watchdog.",
+        "worker_restarts": "Worker processes respawned after a crash.",
+        "latency_samples": "Latency reservoir size (post-downsampling).",
+        "latency_p50_ms": "Median request wall latency (reservoir, ms).",
+        "latency_p95_ms": "95th-percentile request wall latency (reservoir, ms).",
+        "latency_min_ms": "Exact minimum request wall latency (ms).",
+        "latency_max_ms": "Exact maximum request wall latency (ms).",
+    }
+
     def render_prometheus(
         self, extra_gauges: Optional[Mapping[str, float]] = None
     ) -> str:
         """``/metrics``-style plaintext rendering of :meth:`snapshot`.
 
         One ``galo_<name> <value>`` sample per counter/summary stat, each
-        preceded by a ``# TYPE`` header (monotonic counters as ``counter``,
-        everything else -- latency stats and the caller-supplied
+        preceded by ``# HELP`` and ``# TYPE`` headers (monotonic counters as
+        ``counter``, everything else -- latency stats and the caller-supplied
         ``extra_gauges`` such as the execution memo's entry/byte totals -- as
         ``gauge``), sorted by name so the output is diff-stable.  Ends with a
         trailing newline as the exposition format requires.
@@ -217,7 +265,10 @@ class ServiceMetrics:
             value = samples[name]
             metric = self.PROMETHEUS_PREFIX + name
             kind = "counter" if name in counter_names else "gauge"
+            help_text = self.PROMETHEUS_HELP.get(
+                name, f"GALO service metric {name}."
+            )
+            lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} {kind}")
-            rendered = repr(float(value)) if isinstance(value, float) else str(value)
-            lines.append(f"{metric} {rendered}")
+            lines.append(f"{metric} {format_sample_value(value)}")
         return "\n".join(lines) + "\n"

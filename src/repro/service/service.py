@@ -35,10 +35,18 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import AsyncIterator, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.galo import Galo
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    StageTimings,
+    Tracer,
+    TraceStore,
+    render_timeline,
+)
 from repro.service.config import ServiceConfig
 from repro.service.feedback import FeedbackMonitor, LearningTask
 from repro.service.metrics import ServiceMetrics
@@ -78,6 +86,12 @@ class ServiceResponse:
     error: str = ""
     error_type: str = ""
     shard: Optional[int] = None
+    #: Request id / trace id assigned when tracing is enabled ("" otherwise);
+    #: feed ``request_id`` to :meth:`GaloService.explain_request` for the
+    #: span timeline.  Under the sharded router these are the *router's* ids
+    #: (the worker-side trace is re-parented into the router's trace).
+    request_id: str = ""
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -118,6 +132,26 @@ class GaloService:
         self.last_learning_error = ""
         #: Monotonic time of the last KB checkpoint attempt (learner thread).
         self._last_kb_checkpoint = 0.0
+        #: Tracing plumbing (see :mod:`repro.obs`).  Disabled, the tracer is
+        #: the shared no-op and every instrumentation site costs an attribute
+        #: read; enabled, finished traces land in ``trace_store`` and feed
+        #: the per-stage latency histograms.
+        self.tracing_enabled = self.config.resolved_tracing_enabled()
+        self.trace_store: Optional[TraceStore] = None
+        if self.tracing_enabled:
+            self.trace_store = TraceStore(
+                capacity=self.config.trace_store_capacity,
+                slow_threshold_ms=self.config.slow_query_threshold_ms,
+                slow_capacity=self.config.slow_query_log_capacity,
+            )
+            self.tracer = Tracer(self.trace_store)
+        else:
+            self.tracer = NULL_TRACER
+        #: Per-stage latency histograms (queue_wait / match / plan / execute /
+        #: feedback / request), populated from finished request traces.
+        self.stage_timings = StageTimings()
+        #: Request-id sequence; touched only on the event-loop thread.
+        self._request_seq = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -207,20 +241,42 @@ class GaloService:
         if not self._started:
             raise RuntimeError("GaloService.submit before start()")
         self.metrics.increment("submitted")
+        request_id = ""
+        if self.tracer.enabled:
+            # _request_seq is only touched on the event-loop thread.
+            self._request_seq += 1
+            request_id = f"req-{self._request_seq}"
         # Admission control: _pending is only touched on the event loop
         # thread, so the check-and-increment is race-free without a lock.
         if self._pending >= self.config.max_pending:
             self.metrics.increment("rejected")
+            trace_id = ""
+            if self.tracer.enabled:
+                span = self.tracer.start_trace(
+                    "request", request_id=request_id,
+                    attributes={"query_name": query_name, "status": "rejected"},
+                )
+                trace_id = span.trace_id
+                span.end()
             return ServiceResponse(
                 query_name=query_name, sql=sql, status="rejected",
                 error="admission control: too many pending requests",
+                request_id=request_id, trace_id=trace_id,
             )
         self._pending += 1
         if self._idle_event is not None:
             self._idle_event.clear()
         assert self._loop is not None and self._serve_pool is not None
+        request_span = NULL_SPAN
+        admitted_at = time.perf_counter()
+        if self.tracer.enabled:
+            request_span = self.tracer.start_trace(
+                "request", request_id=request_id,
+                attributes={"query_name": query_name}, start=admitted_at,
+            )
         future = self._loop.run_in_executor(
-            self._serve_pool, self._serve_sync, sql, query_name
+            self._serve_pool, self._serve_sync, sql, query_name,
+            request_id, request_span, admitted_at,
         )
         # Completion bookkeeping rides on the future, not on this coroutine:
         # if the caller abandons the await (e.g. breaks out of a stream), the
@@ -301,16 +357,70 @@ class GaloService:
         }
         gauges["kb_templates"] = len(self.galo.knowledge_base)
         gauges["pending_requests"] = self._pending
+        # Depth of the serve queue proper: admitted requests beyond the
+        # worker threads are waiting for a thread, not running.
+        gauges["serve_queue_depth"] = max(0, self._pending - self.config.max_workers)
         gauges["learning_backlog"] = self.learning_backlog
-        return self.metrics.render_prometheus(gauges)
+        if self.trace_store is not None:
+            store_stats = self.trace_store.stats()
+            gauges["traces_stored"] = store_stats["traces_stored"]
+            gauges["slow_queries_stored"] = store_stats["slow_queries_stored"]
+        text = self.metrics.render_prometheus(gauges)
+        stage_lines = self.stage_timings.render_prometheus("galo_stage_latency_ms")
+        if stage_lines:
+            lines = [text.rstrip("\n")]
+            lines.append(
+                "# HELP galo_stage_latency_ms Per-stage request latency"
+                " (queue_wait/match/plan/execute/feedback and request total), ms."
+            )
+            lines.append("# TYPE galo_stage_latency_ms histogram")
+            lines.extend(stage_lines)
+            text = "\n".join(lines) + "\n"
+        return text
+
+    # -- trace introspection ---------------------------------------------------
+
+    def explain_request(self, request_id: str) -> Optional[str]:
+        """Span timeline of a served request (None: unknown id / tracing off).
+
+        ``request_id`` is the id returned on the :class:`ServiceResponse`;
+        the rendering shows every stage's offset and duration, down to
+        per-operator executor spans when ``DbConfig.trace_execution`` is on.
+        """
+        if self.trace_store is None:
+            return None
+        trace = self.trace_store.get(request_id=request_id)
+        if trace is None:
+            return None
+        return render_timeline(trace)
+
+    def slow_queries(self) -> List[dict]:
+        """The slow-query log: request traces over the configured threshold."""
+        if self.trace_store is None:
+            return []
+        return self.trace_store.slow_queries()
 
     # -- internals -----------------------------------------------------------
 
     def _serve_sync(
-        self, sql: str, query_name: str
+        self,
+        sql: str,
+        query_name: str,
+        request_id: str = "",
+        request_span=NULL_SPAN,
+        admitted_at: Optional[float] = None,
     ) -> Tuple[ServiceResponse, Optional[LearningTask]]:
-        """Plan, (maybe) steer, execute once, observe.  Runs on a worker thread."""
+        """Plan, (maybe) steer, execute once, observe.  Runs on a worker thread.
+
+        ``request_span`` is the request trace's root (the no-op span when
+        tracing is off), opened on the event loop at admission time; the gap
+        between ``admitted_at`` and this thread picking the work up is the
+        ``queue_wait`` stage.  The root span ends here, on every path.
+        """
         started = time.perf_counter()
+        if request_span.recording and admitted_at is not None:
+            request_span.child("queue_wait", start=admitted_at).end(started)
+        trace_id = request_span.trace_id
         database = self.galo.database
         try:
             # Serving executes each plan exactly once, through the vectorized
@@ -320,27 +430,36 @@ class GaloService:
             # drops entries the moment the data changes.
             memo = self.galo.matching_engine.execution_memo()
             if self.config.steering_enabled and len(self.galo.knowledge_base):
-                decision = self.galo.matching_engine.steer(sql, query_name=query_name)
+                decision = self.galo.matching_engine.steer(
+                    sql, query_name=query_name, span=request_span
+                )
                 qgm = decision.qgm
                 steered = decision.steered
                 matched_ids = decision.matched_template_ids
                 match_time_ms = decision.match_time_ms
-                result = database.execute_plan(qgm, memo=memo)
             else:
-                qgm, result = database.execute_sql_with_plan(
-                    sql, query_name=query_name, memo=memo
-                )
+                with request_span.child("plan"):
+                    qgm = database.explain(sql, query_name=query_name)
                 steered = False
                 matched_ids = []
                 match_time_ms = 0.0
+            with request_span.child("execute") as execute_span:
+                result = database.execute_plan(qgm, memo=memo, span=execute_span)
+                execute_span.set("rows", result.row_count)
+                execute_span.set("elapsed_ms", result.elapsed_ms)
         except Exception as exc:  # noqa: BLE001 - served errors become responses
             self.metrics.increment("failed")
             wall_ms = (time.perf_counter() - started) * 1000.0
+            request_span.set("status", "error")
+            request_span.set("error", type(exc).__name__)
+            request_span.end()
+            self._record_stage_timings(request_span)
             return (
                 ServiceResponse(
                     query_name=query_name, sql=sql, status="error",
                     wall_ms=wall_ms, error=f"{type(exc).__name__}: {exc}",
                     error_type=type(exc).__name__,
+                    request_id=request_id, trace_id=trace_id,
                 ),
                 None,
             )
@@ -348,24 +467,33 @@ class GaloService:
 
         learning_task: Optional[LearningTask] = None
         max_q_error = 1.0
-        if self.config.learning_enabled:
-            observation = self.feedback.observe(
-                sql=sql,
-                query_name=query_name,
-                qgm=qgm,
-                result=result,
-                matched=bool(matched_ids),
-                steered=steered,
-            )
-            learning_task = observation.task
-            max_q_error = observation.max_q_error
-        else:
-            max_q_error = result.max_q_error(qgm)
+        with request_span.child("feedback") as feedback_span:
+            if self.config.learning_enabled:
+                observation = self.feedback.observe(
+                    sql=sql,
+                    query_name=query_name,
+                    qgm=qgm,
+                    result=result,
+                    matched=bool(matched_ids),
+                    steered=steered,
+                )
+                learning_task = observation.task
+                max_q_error = observation.max_q_error
+                if learning_task is not None:
+                    feedback_span.set("reason", learning_task.reason)
+            else:
+                max_q_error = result.max_q_error(qgm)
+            feedback_span.set("max_q_error", max_q_error)
 
         self.metrics.increment("completed")
         if steered:
             self.metrics.increment("steered")
         self.metrics.record_latency(wall_ms)
+        request_span.set("status", "ok")
+        if steered:
+            request_span.set("steered", True)
+        request_span.end()
+        self._record_stage_timings(request_span)
         response = ServiceResponse(
             query_name=query_name,
             sql=sql,
@@ -377,8 +505,23 @@ class GaloService:
             steered=steered,
             matched_template_ids=matched_ids,
             max_q_error=max_q_error,
+            request_id=request_id,
+            trace_id=trace_id,
         )
         return response, learning_task
+
+    def _record_stage_timings(self, request_span) -> None:
+        """Fold a finished request trace into the per-stage histograms."""
+        if not request_span.recording or self.trace_store is None:
+            return
+        trace = self.trace_store.get(trace_id=request_span.trace_id)
+        if trace is None:
+            return
+        root_id = trace["root_span_id"]
+        self.stage_timings.observe("request", trace["duration_ms"])
+        for record in trace["spans"]:
+            if record["parent_id"] == root_id:
+                self.stage_timings.observe(record["name"], record["duration_ms"])
 
     def _enqueue_learning(self, task: LearningTask) -> None:
         """Hand a feedback task to the background queue (drop when full)."""
@@ -392,7 +535,8 @@ class GaloService:
             self.feedback.forget(task.sql)
             return
         try:
-            queue.put_nowait(task)
+            # Stamp the enqueue time so the learner can report queue dwell.
+            queue.put_nowait(replace(task, enqueued_at=time.perf_counter()))
             self.metrics.increment("learning_enqueued")
         except asyncio.QueueFull:
             self.metrics.increment("learning_dropped")
@@ -510,35 +654,55 @@ class GaloService:
         if not self.galo.knowledge_base.dirty:
             return
         self._last_kb_checkpoint = now
-        try:
-            self.galo.knowledge_base.save(directory)
-            self.metrics.increment("kb_checkpoints")
-        except OSError as exc:  # pragma: no cover - disk trouble must not kill learning
-            self.metrics.increment("kb_checkpoint_failures")
-            self.last_learning_error = f"kb checkpoint: {type(exc).__name__}: {exc}"
+        with self.tracer.start_trace("kb_checkpoint") as span:
+            try:
+                self.galo.knowledge_base.save(directory)
+                self.metrics.increment("kb_checkpoints")
+                span.set("templates", len(self.galo.knowledge_base))
+            except OSError as exc:  # pragma: no cover - disk trouble must not kill learning
+                self.metrics.increment("kb_checkpoint_failures")
+                self.last_learning_error = f"kb checkpoint: {type(exc).__name__}: {exc}"
+                span.set("error", type(exc).__name__)
 
     def _learn_sync(self, task: LearningTask) -> None:
         """One background learning step + KB capacity enforcement (learner thread)."""
-        record = self.galo.learn_query(
-            task.sql,
-            query_name=task.query_name or task.sql_hash,
-            workload_name=self.config.online_workload_name,
+        span = self.tracer.start_trace(
+            "learn_query", request_id=task.query_name or task.sql_hash
         )
-        self.metrics.increment("learning_completed")
-        self.metrics.increment("templates_learned", len(record.templates_learned))
-        for template_id in record.templates_learned:
-            self._template_sources[template_id] = task.sql
-        if self.config.kb_capacity is not None:
-            evicted = self.galo.knowledge_base.enforce_capacity(self.config.kb_capacity)
-            if evicted:
-                self.metrics.increment("templates_evicted", len(evicted))
-                # An evicted template's statement becomes learnable again:
-                # without this, one capacity-pressured eviction would lose
-                # steering for that statement for the rest of the process.
-                for template_id in evicted:
-                    source_sql = self._template_sources.pop(template_id, None)
-                    if source_sql is not None:
-                        self.feedback.forget(source_sql)
+        with span:
+            if span.recording and task.enqueued_at:
+                # Dwell between _enqueue_learning (event loop) and the
+                # learner thread picking the task up -- includes the
+                # idle-first defer and duty-cycle pauses.
+                dwell = span.child("queue_dwell", start=task.enqueued_at).end()
+                span.set("queue_dwell_ms", dwell.duration_ms)
+            span.set("reason", task.reason)
+            record = self.galo.learn_query(
+                task.sql,
+                query_name=task.query_name or task.sql_hash,
+                workload_name=self.config.online_workload_name,
+                span=span,
+            )
+            self.metrics.increment("learning_completed")
+            self.metrics.increment("templates_learned", len(record.templates_learned))
+            span.set("templates", len(record.templates_learned))
+            for template_id in record.templates_learned:
+                self._template_sources[template_id] = task.sql
+            if self.config.kb_capacity is not None:
+                with span.child("enforce_capacity") as evict_span:
+                    evicted = self.galo.knowledge_base.enforce_capacity(
+                        self.config.kb_capacity
+                    )
+                    evict_span.set("evicted", len(evicted))
+                if evicted:
+                    self.metrics.increment("templates_evicted", len(evicted))
+                    # An evicted template's statement becomes learnable again:
+                    # without this, one capacity-pressured eviction would lose
+                    # steering for that statement for the rest of the process.
+                    for template_id in evicted:
+                        source_sql = self._template_sources.pop(template_id, None)
+                        if source_sql is not None:
+                            self.feedback.forget(source_sql)
 
 
 async def _serve_all(

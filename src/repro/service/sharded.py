@@ -43,6 +43,7 @@ import dataclasses
 import hashlib
 import os
 import threading
+import time
 from dataclasses import replace
 from typing import (
     Any,
@@ -56,10 +57,30 @@ from typing import (
     Union,
 )
 
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    StageTimings,
+    Tracer,
+    TraceStore,
+    render_sample,
+    render_timeline,
+)
 from repro.service.config import ServiceConfig, ShardedServiceConfig
 from repro.service.feedback import sql_fingerprint
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import GaloService, ServiceRequest, ServiceResponse
+
+#: Counters the router maintains on top of the per-worker service counters
+#: (distinct names, so merging never double counts).
+ROUTER_COUNTERS = (
+    "router_requests",
+    "router_rejected",
+    "router_failed_shard_errors",
+    "router_crashed_requests",
+    "worker_crashes",
+    "worker_restarts",
+)
 
 
 class WorkerCrashedError(RuntimeError):
@@ -188,6 +209,7 @@ async def _shard_serve(
             "learning_backlog": service.learning_backlog,
             "metrics": service.metrics.state(),
             "memo": galo.database.workload_memo().stats(),
+            "stage_timings": service.stage_timings.state(),
         }
 
     async def watch_checkpoints() -> None:
@@ -195,9 +217,19 @@ async def _shard_serve(
             await asyncio.sleep(config.kb_poll_interval_seconds)
             # The load runs on an executor thread; the swap is a reference
             # assignment, so serving never pauses.
-            await loop.run_in_executor(
+            poll_started = time.perf_counter()
+            version = await loop.run_in_executor(
                 None, galo.maybe_reload_knowledge_base, directory
             )
+            if version is not None and service.tracer.enabled:
+                # A version was actually adopted: record the hot-reload as
+                # its own trace (polls that found nothing stay silent).
+                reload_span = service.tracer.start_trace(
+                    "kb_reload", start=poll_started
+                )
+                reload_span.set("version", version)
+                reload_span.set("templates", len(galo.knowledge_base))
+                reload_span.end()
 
     async def serve_one(request_id: int, sql: str, query_name: str) -> None:
         try:
@@ -212,6 +244,13 @@ async def _shard_serve(
             )
         payload = _response_payload(response)
         payload["shard"] = shard_id
+        if response.trace_id and service.trace_store is not None:
+            # Ship the finished worker-side trace with the response; the
+            # router re-parents it under its own request span (popping keeps
+            # the worker's bounded store for traces nobody will query here).
+            worker_trace = service.trace_store.pop(response.trace_id)
+            if worker_trace is not None:
+                payload["worker_trace"] = worker_trace
         response_queue.put(("response", shard_id, request_id, payload, kb_version()))
 
     # Every shard that is not the designated publisher watches the version
@@ -292,8 +331,9 @@ class _WorkerHandle:
         self.shard_id = shard_id
         self.process = None
         self.request_queue = None
-        #: request id -> (future, query_name, sql) awaiting a response.
-        self.in_flight: Dict[int, Tuple[asyncio.Future, str, str]] = {}
+        #: request id -> (future, query_name, sql, request span, router
+        #: request id) awaiting a response.
+        self.in_flight: Dict[int, Tuple[asyncio.Future, str, str, Any, str]] = {}
         #: status request id -> future awaiting the worker's status payload.
         self.status_waiters: Dict[int, asyncio.Future] = {}
         self.ready: Optional[asyncio.Future] = None
@@ -328,6 +368,23 @@ class ShardedGaloService:
         #: Router-side counters (distinct names from the per-worker counters,
         #: so merging in :meth:`render_metrics` never double counts).
         self.metrics = ServiceMetrics()
+        for counter in ROUTER_COUNTERS:
+            self.metrics.register_counter(counter)
+        #: Router-side tracing, gated on the worker config's switch so one
+        #: knob traces the whole cluster.  The router opens a "request" trace
+        #: per submission; the worker's finished trace comes back on the
+        #: response and is re-parented under it (`worker_request` subtree).
+        self.tracing_enabled = self.config.worker_config.resolved_tracing_enabled()
+        self.trace_store: Optional[TraceStore] = None
+        if self.tracing_enabled:
+            self.trace_store = TraceStore(
+                capacity=self.config.worker_config.trace_store_capacity,
+                slow_threshold_ms=self.config.worker_config.slow_query_threshold_ms,
+                slow_capacity=self.config.worker_config.slow_query_log_capacity,
+            )
+            self.tracer = Tracer(self.trace_store)
+        else:
+            self.tracer = NULL_TRACER
         self._routing_key = self.config.routing_key or _default_routing_key
         self._workers: List[_WorkerHandle] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -439,12 +496,26 @@ class ShardedGaloService:
     ) -> ServiceResponse:
         handle = self._workers[shard]
         self.metrics.increment("router_requests")
+        span = NULL_SPAN
+        router_request_id = ""
+        if self.tracer.enabled:
+            self._request_counter += 1
+            router_request_id = f"req-{self._request_counter}"
+            span = self.tracer.start_trace(
+                "request",
+                request_id=router_request_id,
+                attributes={"query_name": query_name, "shard": shard},
+            )
         if not handle.available.is_set() and not handle.failed:
             # Shard restarting: wait for the respawn rather than erroring --
             # callers see latency, not failures, across a worker bounce.
-            await handle.available.wait()
+            with span.child("shard_wait"):
+                await handle.available.wait()
         if handle.failed:
             self.metrics.increment("router_failed_shard_errors")
+            span.set("status", "error")
+            span.set("error", WorkerCrashedError.__name__)
+            span.end()
             return ServiceResponse(
                 query_name=query_name,
                 sql=sql,
@@ -452,22 +523,28 @@ class ShardedGaloService:
                 error=f"shard {shard} is down (restart budget exhausted)",
                 error_type=WorkerCrashedError.__name__,
                 shard=shard,
+                request_id=router_request_id,
+                trace_id=span.trace_id,
             )
         if handle.pending >= self.config.max_pending_per_shard:
             self.metrics.increment("router_rejected")
+            span.set("status", "rejected")
+            span.end()
             return ServiceResponse(
                 query_name=query_name,
                 sql=sql,
                 status="rejected",
                 error=f"admission control: shard {shard} has too many pending requests",
                 shard=shard,
+                request_id=router_request_id,
+                trace_id=span.trace_id,
             )
         assert self._loop is not None
         self._request_counter += 1
         request_id = self._request_counter
         future: asyncio.Future = self._loop.create_future()
         handle.pending += 1
-        handle.in_flight[request_id] = (future, query_name, sql)
+        handle.in_flight[request_id] = (future, query_name, sql, span, router_request_id)
         handle.request_queue.put(("serve", request_id, sql, query_name))
         # Shielded: an abandoned await (caller broke out of a stream) must not
         # lose the pending-count bookkeeping, which rides on the response.
@@ -598,11 +675,14 @@ class ShardedGaloService:
         page = merged.render_prometheus(gauges).rstrip("\n")
         lines = [page]
         prefix = ServiceMetrics.PROMETHEUS_PREFIX
+        lines.append(f"# HELP {prefix}shard_up Whether the shard answered the status probe.")
+        lines.append(f"# TYPE {prefix}shard_up gauge")
+        for shard, status in enumerate(statuses):
+            up = 0 if status is None else 1
+            lines.append(render_sample(f"{prefix}shard_up", up, {"shard": shard}))
         for shard, status in enumerate(statuses):
             if status is None:
-                lines.append(f'{prefix}shard_up{{shard="{shard}"}} 0')
                 continue
-            lines.append(f'{prefix}shard_up{{shard="{shard}"}} 1')
             snapshot = ServiceMetrics.from_state(status["metrics"]).snapshot()
             for name in (
                 "submitted",
@@ -614,18 +694,67 @@ class ShardedGaloService:
                 "latency_p95_ms",
             ):
                 if name in snapshot:
-                    value = snapshot[name]
-                    rendered = (
-                        repr(float(value)) if isinstance(value, float) else str(value)
+                    lines.append(
+                        render_sample(
+                            f"{prefix}{name}", snapshot[name], {"shard": shard}
+                        )
                     )
-                    lines.append(f'{prefix}{name}{{shard="{shard}"}} {rendered}')
             lines.append(
-                f'{prefix}kb_version{{shard="{shard}"}} {status["kb_version"]}'
+                render_sample(
+                    f"{prefix}kb_version", status["kb_version"], {"shard": shard}
+                )
             )
             lines.append(
-                f'{prefix}kb_templates{{shard="{shard}"}} {status["kb_templates"]}'
+                render_sample(
+                    f"{prefix}kb_templates", status["kb_templates"], {"shard": shard}
+                )
             )
+            lines.append(
+                render_sample(
+                    f"{prefix}pending_requests", status["pending"], {"shard": shard}
+                )
+            )
+        # Per-stage latency histograms, one labelled series set per shard
+        # (the bounds are identical, so Prometheus can sum across shards).
+        stage_lines: List[str] = []
+        for shard, status in enumerate(statuses):
+            if status is None or not status.get("stage_timings"):
+                continue
+            shard_stages = StageTimings()
+            shard_stages.merge_state(status["stage_timings"])
+            stage_lines.extend(
+                shard_stages.render_prometheus(
+                    f"{prefix}stage_latency_ms", {"shard": shard}
+                )
+            )
+        if stage_lines:
+            lines.append(
+                f"# HELP {prefix}stage_latency_ms Per-stage request latency"
+                " (queue_wait/match/plan/execute/feedback and request total), ms."
+            )
+            lines.append(f"# TYPE {prefix}stage_latency_ms histogram")
+            lines.extend(stage_lines)
         return "\n".join(lines) + "\n"
+
+    def explain_request(self, request_id: str) -> Optional[str]:
+        """Span timeline of a routed request (None: unknown id / tracing off).
+
+        The trace spans the router (admission, shard wait, queue/IPC gap) and
+        the worker subtree (re-parented ``worker_request`` -> queue_wait /
+        match / plan / execute / feedback, down to per-operator spans).
+        """
+        if self.trace_store is None:
+            return None
+        trace = self.trace_store.get(request_id=request_id)
+        if trace is None:
+            return None
+        return render_timeline(trace)
+
+    def slow_queries(self) -> List[Dict[str, Any]]:
+        """Router-side slow-query log (end-to-end request traces)."""
+        if self.trace_store is None:
+            return []
+        return self.trace_store.slow_queries()
 
     # -- chaos / test hooks ----------------------------------------------------
 
@@ -709,9 +838,25 @@ class ShardedGaloService:
                 # were already failed by the watchdog): drop it.
                 return
             handle.pending -= 1
-            future, _, _ = entry
+            future, _, _, span, router_request_id = entry
+            worker_trace = payload.pop("worker_trace", None)
+            response = _response_from_payload(payload)
+            if span.recording:
+                if worker_trace is not None:
+                    # Graft the worker's span tree under the router's request
+                    # span; the remote root is renamed so the timeline reads
+                    # router request -> worker_request -> stages.
+                    self.tracer.adopt_remote(
+                        span, worker_trace, root_name="worker_request"
+                    )
+                span.set("status", response.status)
+                span.end()
+                # The caller-facing ids are the router's (the worker-side
+                # trace no longer exists as its own entity).
+                response.request_id = router_request_id
+                response.trace_id = span.trace_id
             if not future.done():
-                future.set_result(_response_from_payload(payload))
+                future.set_result(response)
         elif kind == "status":
             _, _, request_id, payload = message
             handle.kb_version = max(handle.kb_version, int(payload["kb_version"]))
@@ -785,8 +930,12 @@ class ShardedGaloService:
         crashed = list(handle.in_flight.values())
         handle.in_flight.clear()
         handle.pending = 0
-        for future, query_name, sql in crashed:
+        for future, query_name, sql, span, router_request_id in crashed:
             self.metrics.increment("router_crashed_requests")
+            if span.recording:
+                span.set("status", "error")
+                span.set("error", WorkerCrashedError.__name__)
+                span.end()
             if not future.done():
                 future.set_result(
                     ServiceResponse(
@@ -796,6 +945,8 @@ class ShardedGaloService:
                         error=detail,
                         error_type=WorkerCrashedError.__name__,
                         shard=handle.shard_id,
+                        request_id=router_request_id,
+                        trace_id=span.trace_id,
                     )
                 )
         for waiter in handle.status_waiters.values():

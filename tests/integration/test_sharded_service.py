@@ -270,3 +270,92 @@ class TestWorkerCrash:
         assert snapshot["worker_crashes"] == 1
         assert snapshot["worker_restarts"] == 1
         assert snapshot["router_crashed_requests"] == len(typed)
+
+
+class TestTracing:
+    def test_one_trace_spans_router_worker_and_executor(self, tmp_path):
+        """A routed request yields ONE trace: router request span on top, the
+        worker's span tree re-parented beneath it, executor node spans at the
+        bottom -- with the queue-wait, match, plan, and execute stages."""
+        kb_dir = str(tmp_path)
+        seed_checkpoint(kb_dir)
+        factory = MiniGaloFactory(sales_rows=SALES_ROWS)
+        config = ShardedServiceConfig(
+            num_workers=2,
+            kb_directory=kb_dir,
+            learner_shard=None,
+            worker_config=quiet_config(
+                steering_enabled=True, tracing_enabled=True
+            ),
+        )
+
+        async def scenario():
+            service = ShardedGaloService(factory, config)
+            async with service:
+                responses = []
+                async for response in service.stream(mini_star_queries()):
+                    responses.append(response)
+                timelines = {
+                    response.request_id: service.explain_request(
+                        response.request_id
+                    )
+                    for response in responses
+                }
+                traces = {
+                    response.request_id: service.trace_store.get(
+                        request_id=response.request_id
+                    )
+                    for response in responses
+                }
+                page = await service.render_metrics()
+                return responses, traces, timelines, page
+
+        responses, traces, timelines, page = run(scenario())
+
+        assert all(response.ok for response in responses)
+        steered = [r for r in responses if r.steered]
+        assert steered, "the seeded checkpoint must steer at least one query"
+
+        for response in responses:
+            assert response.request_id and response.trace_id
+            trace = traces[response.request_id]
+            assert trace is not None, "router must store the merged trace"
+            spans = trace["spans"]
+            by_name = {}
+            for span in spans:
+                by_name.setdefault(span["name"], span)
+            names = set(by_name)
+
+            # One trace, three layers: router request -> adopted worker
+            # subtree -> executor node spans.
+            for stage in ("request", "worker_request", "queue_wait", "plan",
+                          "execute"):
+                assert stage in names, f"missing {stage} in {sorted(names)}"
+            # Executor node spans at the bottom: the plan root ("return") is
+            # always executed; deeper scans may be elided when the worker's
+            # workload memo replays a subtree from an earlier request.
+            assert "return" in names, f"no executor node spans in {sorted(names)}"
+            if response.steered:
+                assert "match" in names and "steer" in names
+
+            # The worker subtree hangs off the router's request span.
+            root = next(
+                span for span in spans
+                if span["span_id"] == trace["root_span_id"]
+            )
+            worker_root = by_name["worker_request"]
+            assert worker_root["parent_id"] == root["span_id"]
+            assert by_name["queue_wait"]["parent_id"] == worker_root["span_id"]
+            assert root["attributes"]["shard"] == response.shard
+            # The worker subtree nests inside the router span's window.
+            worker_end = (
+                worker_root["start_ms"] + worker_root["duration_ms"]
+            )
+            assert worker_end <= root["duration_ms"] + 1e-6
+
+            timeline = timelines[response.request_id]
+            assert "worker_request" in timeline and "execute" in timeline
+
+        # The merged metrics page exposes per-shard stage histograms.
+        assert "galo_stage_latency_ms_bucket" in page
+        assert 'shard="0"' in page and 'stage="execute"' in page
