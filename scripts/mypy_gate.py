@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Gate mypy (strict core subset, see mypy.ini) on a shrinking baseline.
+
+Works like galolint's baseline: errors are keyed on
+``(path, error-code, message)`` -- line-number-insensitive, so unrelated
+edits don't invalidate entries -- and the baseline may only *shrink*: a
+baseline entry whose error no longer occurs fails the gate until the entry
+is deleted.
+
+The baseline file carries a ``seeded`` flag.  While unseeded (the shipped
+state: mypy is not installed in the dev container, so the initial error set
+has to be captured by CI or a workstation that has mypy), the gate prints
+the full report and exits 0; run with ``--write-baseline`` on such a host
+and commit the result to flip the gate to enforcing.
+
+Exit codes: 0 ok / baseline unseeded, 1 new or stale errors, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_ERROR_LINE = re.compile(
+    r"^(?P<path>[^:]+\.py):(?P<line>\d+):(?:\d+:)? error: "
+    r"(?P<message>.*?)(?:\s+\[(?P<code>[a-z0-9-]+)\])?$"
+)
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy() -> Tuple[int, List[Dict[str, str]], str]:
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    errors: List[Dict[str, str]] = []
+    for raw in completed.stdout.splitlines():
+        match = _ERROR_LINE.match(raw.strip())
+        if match:
+            errors.append(
+                {
+                    "path": match["path"],
+                    "code": match["code"] or "",
+                    "message": match["message"],
+                }
+            )
+    return completed.returncode, errors, completed.stdout + completed.stderr
+
+
+def error_key(entry: Dict[str, str]) -> Tuple[str, str, str]:
+    return (entry["path"], entry["code"], entry["message"])
+
+
+def load_baseline(path: Path) -> Dict[str, object]:
+    if not path.exists():
+        return {"seeded": False, "errors": []}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "lint" / "mypy_baseline.json",
+        help="baseline JSON (default: lint/mypy_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="capture the current error set as the (seeded) baseline and exit 0",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write the raw mypy output to this file (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if not mypy_available():
+        print("mypy-gate: mypy is not installed here; skipping (CI runs it).")
+        return 0
+
+    returncode, errors, raw_output = run_mypy()
+    if args.report is not None:
+        args.report.write_text(raw_output, encoding="utf-8")
+    if returncode not in (0, 1):
+        # 2 = mypy crashed / bad config: always fatal, baseline or not.
+        print(raw_output)
+        print(f"mypy-gate: mypy exited {returncode} (config/crash)")
+        return 1
+
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "comment": (
+                "mypy strict-subset baseline; entries may only be REMOVED"
+                " (fix the error, then delete its entry)."
+            ),
+            "seeded": True,
+            "errors": sorted(errors, key=error_key),
+        }
+        args.baseline.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"mypy-gate: wrote {len(errors)} baseline error(s) to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    baseline_keys = {error_key(entry) for entry in baseline.get("errors", [])}
+    current_keys = {error_key(entry) for entry in errors}
+
+    if not baseline.get("seeded", False):
+        print(raw_output.strip() or "mypy: no output")
+        print(
+            f"mypy-gate: {len(errors)} error(s); baseline is UNSEEDED, not"
+            " enforcing.  Seed it with: python scripts/mypy_gate.py"
+            " --write-baseline (on a host with mypy), then commit"
+            " lint/mypy_baseline.json."
+        )
+        return 0
+
+    new = [entry for entry in errors if error_key(entry) not in baseline_keys]
+    stale = sorted(baseline_keys - current_keys)
+    for entry in new:
+        print(f"NEW   {entry['path']}: {entry['message']} [{entry['code']}]")
+    for path, code, message in stale:
+        print(f"STALE baseline entry fixed, delete it: {path}: {message} [{code}]")
+    print(
+        f"mypy-gate: {len(errors)} error(s) total, {len(new)} new,"
+        f" {len(baseline_keys) - len(stale)} baselined, {len(stale)} stale"
+    )
+    return 1 if new or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

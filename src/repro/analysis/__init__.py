@@ -1,0 +1,34 @@
+"""galolint: AST-based invariant checks for this repository.
+
+``python -m repro.analysis`` runs every registered rule over ``src/``;
+the tier-1 suite runs the same thing and asserts zero findings.
+"""
+
+from repro.analysis.framework import (
+    FRAMEWORK_RULE_ID,
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    RULE_REGISTRY,
+    apply_baseline,
+    load_baseline,
+    register_rule,
+    run_analysis,
+    write_baseline,
+)
+from repro.analysis import rules as _rules  # noqa: F401  (registers GL001..GL006)
+
+__all__ = [
+    "FRAMEWORK_RULE_ID",
+    "AnalysisReport",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "apply_baseline",
+    "load_baseline",
+    "register_rule",
+    "run_analysis",
+    "write_baseline",
+]

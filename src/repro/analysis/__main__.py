@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit status is 0 only when there are zero non-baselined findings AND no
+stale baseline entries (the baseline may only shrink).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    RULE_REGISTRY,
+    apply_baseline,
+    load_baseline,
+    run_analysis,
+    write_baseline,
+)
+
+
+def _default_root() -> Path:
+    """The ``src/`` directory this package was imported from."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="galolint: AST invariant checks for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="root-relative files/dirs to analyze (default: the whole tree)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="analysis root; findings are reported relative to it (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON baseline of grandfathered findings (stale entries fail)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write current findings to this baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in RULE_REGISTRY:
+            print(f"{cls.rule_id}  {cls.title}")
+        return 0
+
+    root = args.root if args.root is not None else _default_root()
+    report = run_analysis(root, subpaths=args.paths or None)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} grandfathered finding(s) to"
+            f" {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline is not None and args.baseline.exists():
+        apply_baseline(report, load_baseline(args.baseline))
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        for key in report.stale_baseline:
+            print(
+                f"{key[1]}: STALE baseline entry for {key[0]} ({key[2]!r}):"
+                " the finding was fixed -- delete the entry"
+            )
+        counts = report.counts_by_rule()
+        summary = ", ".join(f"{rule}={count}" for rule, count in sorted(counts.items()))
+        print(
+            f"galolint: {report.files_checked} files, "
+            f"{len(report.findings)} finding(s)"
+            + (f" [{summary}]" if summary else "")
+            + (f", {len(report.baselined)} baselined" if report.baselined else "")
+            + (
+                f", {len(report.stale_baseline)} STALE baseline entr(ies)"
+                if report.stale_baseline
+                else ""
+            )
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,425 @@
+"""galolint: an AST-based invariant checker for this repository.
+
+The repo's reproduction contract is *bit-identical determinism* -- learned
+templates, steering decisions and row output must not vary run to run -- and
+its worst shipped bug classes (PYTHONHASHSEED hash-order leaking into
+sub-query SQL, Python per-row loops creeping back into vectorized kernels,
+blocking calls stalling the serving event loop) are invariants that used to
+live only in reviewers' heads and expensive differential suites.  This
+framework encodes them as lint rules that run in seconds over the whole tree,
+so the violation is caught at analysis time, not in a 600-test differential
+run.
+
+Architecture
+------------
+
+- :class:`Rule` subclasses register themselves with :func:`register_rule`.
+  Each rule has an id (``GL001``...), a one-line title, a fix ``hint`` and a
+  tuple of ``paths`` globs scoping which files it inspects (empty = whole
+  tree).  Per-file rules implement :meth:`Rule.check_module`; whole-project
+  rules (cross-file consistency, e.g. the counter registry) additionally
+  implement :meth:`Rule.finish`, called once after every file was visited.
+- Findings carry ``file:line``, the offending source line and the rule's fix
+  hint; they are suppressible *per line* with a justification::
+
+      for item in candidates:  # galolint: disable=GL001 -- order irrelevant: feeds a set
+
+  A suppression without justification text (the ``-- why`` part) is itself a
+  finding (``GL000``), as is a suppression that matches no finding -- so the
+  suppression inventory can only document real, current exceptions.
+- A baseline file grandfathers pre-existing findings.  Baselined findings do
+  not fail the run, but a baseline entry whose finding no longer occurs is a
+  *stale entry* error: the baseline can only shrink, never rot.
+
+Run ``python -m repro.analysis`` for the CLI; the tier-1 test suite runs the
+whole tree through :func:`run_analysis` and asserts zero unsuppressed,
+non-baselined findings -- the lint *is* a test.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Type
+
+#: Rule id reserved for the framework itself (malformed/unused suppressions).
+FRAMEWORK_RULE_ID = "GL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*galolint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    hint: str = ""
+    snippet: str = ""  # stripped source of the anchor line
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-insensitive identity used for baseline matching.
+
+        Keyed on (rule, file, source text of the flagged line) so unrelated
+        edits that shift line numbers do not invalidate the baseline.
+        """
+        return (self.rule, self.path, self.snippet)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# galolint: disable=...`` comment found in a file."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    used: bool = False
+
+
+class ModuleContext:
+    """Everything a per-file rule needs about one source file."""
+
+    def __init__(self, root: Path, path: Path, source: str, tree: ast.Module):
+        self.root = root
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions = _parse_suppressions(source)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, hint: Optional[str] = None
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule.rule_id,
+            path=self.relpath,
+            line=line,
+            message=message,
+            hint=rule.hint if hint is None else hint,
+            snippet=self.line_text(line),
+        )
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    """Extract galolint suppressions from *comment tokens* only.
+
+    Tokenizing (rather than regex over raw lines) keeps the directive inert
+    inside strings and docstrings -- e.g. this module's own documentation.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = tuple(part.strip() for part in match.group(1).split(","))
+            suppressions.append(
+                Suppression(
+                    line=token.start[0],
+                    rules=rules,
+                    justification=(match.group("why") or "").strip(),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # unterminated string etc.; ast.parse already reported it
+    return suppressions
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule_id`` / ``title`` / ``hint`` / ``paths`` and
+    implement :meth:`check_module`.  Rules needing cross-file state override
+    :meth:`finish` too (called once, after every file), accumulating whatever
+    they need on ``self`` during the per-file pass.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    hint: str = ""
+    #: fnmatch globs (against the repo-relative posix path) selecting the
+    #: files this rule inspects; empty = every analyzed file.
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.paths:
+            return True
+        return any(fnmatch.fnmatch(relpath, pattern) for pattern in self.paths)
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """Cross-file findings, once all modules were visited."""
+        return ()
+
+
+#: The global registry, in registration (= rule id) order.
+RULE_REGISTRY: List[Type[Rule]] = []
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.rule_id:
+        raise ValueError("rule class must set rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in RULE_REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY.append(cls)
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run (before baseline application)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+    #: Findings grandfathered by the baseline (still real, just not fatal).
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer match any finding: the violation was
+    #: fixed, so the entry must be deleted (the baseline shrinks monotonically).
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline": [
+                {"rule": rule, "path": path, "snippet": snippet}
+                for rule, path, snippet in self.stale_baseline
+            ],
+        }
+
+
+def iter_source_files(root: Path, subpaths: Optional[Sequence[str]] = None) -> Iterator[Path]:
+    """Yield the ``*.py`` files under ``root`` (or the given subpaths), sorted."""
+    targets: List[Path]
+    if subpaths:
+        targets = [root / sub for sub in subpaths]
+    else:
+        targets = [root]
+    seen = []
+    for target in targets:
+        if target.is_file() and target.suffix == ".py":
+            seen.append(target)
+        elif target.is_dir():
+            seen.extend(
+                path
+                for path in target.rglob("*.py")
+                if "__pycache__" not in path.parts
+            )
+    return iter(sorted(set(seen)))
+
+
+def run_analysis(
+    root: Path,
+    subpaths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisReport:
+    """Run every registered rule over the tree rooted at ``root``.
+
+    ``root`` is the directory repo-relative paths are reported against
+    (normally ``src/``); rule path globs match against paths relative to it
+    (e.g. ``repro/service/*.py``).
+    """
+    active: List[Rule] = list(rules) if rules is not None else [cls() for cls in RULE_REGISTRY]
+    report = AnalysisReport(rules_run=tuple(rule.rule_id for rule in active))
+    raw: List[Finding] = []
+    contexts: List[ModuleContext] = []
+    for path in iter_source_files(root, subpaths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    rule=FRAMEWORK_RULE_ID,
+                    path=path.relative_to(root).as_posix(),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error",
+                )
+            )
+            continue
+        ctx = ModuleContext(root, path, source, tree)
+        contexts.append(ctx)
+        report.files_checked += 1
+        for rule in active:
+            if rule.applies_to(ctx.relpath):
+                raw.extend(rule.check_module(ctx))
+    for rule in active:
+        raw.extend(rule.finish())
+    report.findings = _apply_suppressions(raw, contexts)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+def _apply_suppressions(
+    findings: List[Finding], contexts: List[ModuleContext]
+) -> List[Finding]:
+    """Drop findings matching a justified same-line suppression.
+
+    A suppression covers findings anchored on its own line or the line
+    directly below it (so a comment can sit above a long statement).
+    Suppressions without justification text, and suppressions that matched
+    nothing, are turned into GL000 findings.
+    """
+    by_path: Dict[str, ModuleContext] = {ctx.relpath: ctx for ctx in contexts}
+    kept: List[Finding] = []
+    for finding in findings:
+        ctx = by_path.get(finding.path)
+        suppressed = False
+        if ctx is not None:
+            for suppression in ctx.suppressions:
+                if finding.rule not in suppression.rules:
+                    continue
+                if finding.line not in (suppression.line, suppression.line + 1):
+                    continue
+                suppression.used = True
+                if suppression.justification:
+                    suppressed = True
+                # An unjustified suppression never hides the finding; the
+                # GL000 emitted below explains why.
+        if not suppressed:
+            kept.append(finding)
+    for ctx in by_path.values():
+        for suppression in ctx.suppressions:
+            if not suppression.justification:
+                kept.append(
+                    Finding(
+                        rule=FRAMEWORK_RULE_ID,
+                        path=ctx.relpath,
+                        line=suppression.line,
+                        message=(
+                            "suppression without justification: append"
+                            " '-- <why this line is exempt>'"
+                        ),
+                        hint="e.g. # galolint: disable=GL001 -- order irrelevant: feeds a set",
+                        snippet=ctx.line_text(suppression.line),
+                    )
+                )
+            elif not suppression.used:
+                kept.append(
+                    Finding(
+                        rule=FRAMEWORK_RULE_ID,
+                        path=ctx.relpath,
+                        line=suppression.line,
+                        message=(
+                            "unused suppression for "
+                            + ",".join(suppression.rules)
+                            + ": no finding on this line; delete the comment"
+                        ),
+                        hint="remove the stale galolint comment",
+                        snippet=ctx.line_text(suppression.line),
+                    )
+                )
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str]]:
+    """Read the grandfathered-finding keys from a baseline JSON file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    keys: List[Tuple[str, str, str]] = []
+    for entry in entries:
+        keys.append((str(entry["rule"]), str(entry["path"]), str(entry["snippet"])))
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"rule": finding.rule, "path": finding.path, "snippet": finding.snippet}
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {
+        "comment": (
+            "galolint grandfathered findings; entries may only be REMOVED"
+            " (fix the finding, then delete its entry)."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(report: AnalysisReport, baseline: Sequence[Tuple[str, str, str]]) -> None:
+    """Split ``report.findings`` into new vs baselined; record stale entries.
+
+    Mutates the report in place: baselined findings move to
+    ``report.baselined``; baseline keys matching nothing land in
+    ``report.stale_baseline`` (a failure: the baseline must shrink as
+    findings are fixed, never accumulate dead entries).
+    """
+    remaining = set(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in report.findings:
+        if finding.key() in remaining:
+            grandfathered.append(finding)
+            # Duplicate findings sharing a key are all covered by one entry.
+        else:
+            new.append(finding)
+    matched = {finding.key() for finding in grandfathered}
+    report.findings = new
+    report.baselined = grandfathered
+    report.stale_baseline = sorted(remaining - matched)

@@ -70,11 +70,16 @@ def _connected_subsets(
     frontier = {frozenset([alias]) for alias in aliases}
     for _ in range(1, max_size):
         next_frontier = set()
-        for subset in frontier:
+        # Iterate the frontier and each expansion candidate in sorted order:
+        # the grown subsets land in a set (so the *result* was already
+        # hash-order-proof via the sorted() below), but keeping every walk
+        # deterministic means no future reader of this loop can accidentally
+        # make emission order PYTHONHASHSEED-dependent.
+        for subset in sorted(frontier, key=sorted):
             neighbours = set()
-            for member in subset:
+            for member in sorted(subset):
                 neighbours |= edges.get(member, set())
-            for neighbour in neighbours - subset:
+            for neighbour in sorted(neighbours - subset):
                 grown = subset | {neighbour}
                 if grown not in subsets:
                     next_frontier.add(frozenset(grown))

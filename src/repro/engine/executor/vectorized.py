@@ -124,6 +124,7 @@ class Batch:
                 isinstance(sel, np.ndarray) or isinstance(picks, np.ndarray)
             ):
                 return Batch(self.columns, as_index_array(sel)[as_index_array(picks)])
+            # galolint: disable=GL002 -- list-backend decline path (no numpy)
             return Batch(self.columns, [sel[p] for p in picks])
         return Batch(
             {key: gather(values, picks) for key, values in self.columns.items()},
@@ -161,6 +162,7 @@ def _gather_columns(batch: Batch, picks: Sequence[int]) -> Dict[str, Sequence[An
             columns[key] = gather(values, absolute)
         return columns
     for key, values in batch.columns.items():
+        # galolint: disable=GL002 -- list-backend decline path (no numpy)
         columns[key] = [values[sel[p]] for p in picks]
     return columns
 
@@ -716,6 +718,7 @@ class VectorizedExecutor:
         metrics.rows_processed += count
         metrics.index_lookups += count
         rows_per_page = self._rows_per_page(data)
+        # galolint: disable=GL002 -- page-trace derivation; order must stay probe order
         pages = [row_id // rows_per_page for row_id in row_ids]
         metrics.random_pages += pool.access_many(table, pages)
         columns = self._qualified_columns(data, alias)

@@ -204,8 +204,13 @@ class GaloService:
             await asyncio.get_running_loop().run_in_executor(
                 self._learn_pool, self._checkpoint_kb_sync, True
             )
-        self._serve_pool.shutdown(wait=True)
-        self._learn_pool.shutdown(wait=True)
+        # shutdown(wait=True) joins worker threads; run it off the event loop
+        # so concurrent tasks (health checks, other services on this loop)
+        # keep making progress while the pools wind down.
+        serve_pool, learn_pool = self._serve_pool, self._learn_pool
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: serve_pool.shutdown(wait=True))
+        await loop.run_in_executor(None, lambda: learn_pool.shutdown(wait=True))
         self._serve_pool = None
         self._learn_pool = None
         self._learning_queue = None

@@ -190,8 +190,11 @@ async def _shard_serve(
     directory = config.kb_directory
     if directory is not None:
         # Bootstrap from the latest checkpoint (restarted workers pick up
-        # everything the learner published while they were down).
-        galo.maybe_reload_knowledge_base(directory, force=True)
+        # everything the learner published while they were down).  The load
+        # is file I/O: keep it off the event loop, like the poll path below.
+        await loop.run_in_executor(
+            None, galo.maybe_reload_knowledge_base, directory, True
+        )
 
     service = GaloService(galo, service_config)
     await service.start()
@@ -451,16 +454,14 @@ class ShardedGaloService:
         assert self._loop is not None
         await self._loop.run_in_executor(None, self._join_workers)
         # Unblock and retire the reader thread after the workers are gone, so
-        # every drained response was already dispatched.
+        # every drained response was already dispatched.  Joining the reader
+        # and the queue feeder are blocking waits; they run on an executor
+        # thread while _fail_pending (which resolves caller futures) stays on
+        # the loop between them.
         if self._response_queue is not None:
-            self._response_queue.put(None)
-            if self._reader is not None:
-                self._reader.join(timeout=5.0)
-                self._reader = None
+            await self._loop.run_in_executor(None, self._retire_reader_sync)
             self._fail_pending("service stopped")
-            self._response_queue.close()
-            self._response_queue.join_thread()
-            self._response_queue = None
+            await self._loop.run_in_executor(None, self._close_response_queue_sync)
         self._started = False
 
     async def __aenter__(self) -> "ShardedGaloService":
@@ -976,6 +977,21 @@ class ShardedGaloService:
                 handle.request_queue.join_thread()
                 handle.request_queue = None
 
+    def _retire_reader_sync(self) -> None:
+        """Blocking (executor-thread) unblock + join of the reader thread."""
+        assert self._response_queue is not None
+        self._response_queue.put(None)
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
+            self._reader = None
+
+    def _close_response_queue_sync(self) -> None:
+        """Blocking (executor-thread) close of the shared response queue."""
+        assert self._response_queue is not None
+        self._response_queue.close()
+        self._response_queue.join_thread()
+        self._response_queue = None
+
     async def _abort_start(self) -> None:
         """Tear down a partially started cluster after a startup failure."""
         self._stopping = True
@@ -990,13 +1006,8 @@ class ShardedGaloService:
         assert self._loop is not None
         await self._loop.run_in_executor(None, self._join_workers)
         if self._response_queue is not None:
-            self._response_queue.put(None)
-            if self._reader is not None:
-                self._reader.join(timeout=5.0)
-                self._reader = None
-            self._response_queue.close()
-            self._response_queue.join_thread()
-            self._response_queue = None
+            await self._loop.run_in_executor(None, self._retire_reader_sync)
+            await self._loop.run_in_executor(None, self._close_response_queue_sync)
 
 
 # ---------------------------------------------------------------------------

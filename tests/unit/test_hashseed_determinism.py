@@ -45,6 +45,11 @@ db = build_mini_database(sales_rows=3000)
 for name, sql in queries:
     for subquery in generate_subqueries(db.bind(sql), 3):
         print("SUBQUERY", subquery.aliases, subquery.sql)
+        # The repaired GL001 site: _project_query builds local_predicates by
+        # iterating the alias frozenset in sorted() order, so the dict's
+        # *insertion* order (and with it the rendered WHERE clause above)
+        # must be identical under every hash seed.
+        print("PREDS", list(subquery.query.local_predicates))
 galo = Galo(db, learning_config=LearningConfig(
     max_joins=3, random_plans_per_subquery=3, max_variants=2))
 galo.learn(queries, workload_name="seeded")
