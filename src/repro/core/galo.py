@@ -118,6 +118,19 @@ class Galo:
         """Evict cold/low-benefit templates until at most ``capacity`` remain."""
         return self.knowledge_base.enforce_capacity(capacity)
 
+    def quarantine_template(self, template_id: str) -> bool:
+        """Stop steering from one template (it keeps learning); see the
+        knowledge base's guard ledger for the full lifecycle."""
+        return self.knowledge_base.quarantine_template(template_id)
+
+    def rearm_template(self, template_id: str) -> bool:
+        """Lift one template's quarantine (fresh ledger)."""
+        return self.knowledge_base.rearm_template(template_id)
+
+    def quarantined_template_ids(self) -> List[str]:
+        """Template ids currently quarantined (sorted)."""
+        return self.knowledge_base.quarantined_template_ids()
+
     def save_knowledge_base(self, directory: str) -> int:
         """Checkpoint the KB to ``directory``; returns the version published."""
         return self.knowledge_base.save(directory)

@@ -268,6 +268,54 @@ class TemplateUsage:
     last_used_tick: int = 0
 
 
+@dataclass
+class TemplateGuardRecord:
+    """Per-template steering win/loss ledger and quarantine state.
+
+    Maintained by the serving tier's regression guard: a *win* is a steered
+    execution at least as fast as the statement's optimizer baseline (within
+    the configured regression tolerance), a *loss* is a steered execution
+    slower than that.  ``quarantined`` templates stop steering regular
+    requests; while quarantined, every ``probe_interval``-th matched request
+    still steers (a shadow probe) and ``probation_wins`` counts the current
+    streak of consecutive probe wins toward re-arming.
+    """
+
+    wins: int = 0
+    losses: int = 0
+    quarantined: bool = False
+    probation_wins: int = 0
+    probe_counter: int = 0
+
+    @property
+    def observations(self) -> int:
+        return self.wins + self.losses
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.observations
+        return self.losses / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "wins": self.wins,
+            "losses": self.losses,
+            "quarantined": self.quarantined,
+            "probation_wins": self.probation_wins,
+            "probe_counter": self.probe_counter,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TemplateGuardRecord":
+        return cls(
+            wins=int(payload.get("wins", 0)),
+            losses=int(payload.get("losses", 0)),
+            quarantined=bool(payload.get("quarantined", False)),
+            probation_wins=int(payload.get("probation_wins", 0)),
+            probe_counter=int(payload.get("probe_counter", 0)),
+        )
+
+
 class KnowledgeBase:
     """RDF-backed store of problem-pattern templates (the paper's Fuseki/TDB)."""
 
@@ -298,8 +346,27 @@ class KnowledgeBase:
             "templates_skipped": 0,
         }
         self._stats_lock = threading.Lock()
-        #: Online lifecycle observability (adds / evictions / updates).
-        self.lifecycle_stats = {"added": 0, "evicted": 0, "updated": 0}
+        #: Online lifecycle observability (adds / evictions / updates /
+        #: quarantine transitions).
+        self.lifecycle_stats = {
+            "added": 0,
+            "evicted": 0,
+            "updated": 0,
+            "quarantined": 0,
+            "rearmed": 0,
+        }
+        #: Per-template steering win/loss ledger + quarantine state, fed by
+        #: the serving tier's regression guard.  Guarded by ``_stats_lock``
+        #: (serving worker threads record outcomes concurrently); persisted
+        #: through :meth:`save` / :meth:`load` so quarantine decisions survive
+        #: checkpoints and propagate to sharded followers on hot-reload.
+        self._guard_records: Dict[str, TemplateGuardRecord] = {}
+        #: Running mean of the workload feature vectors of the plans this
+        #: knowledge base learned from -- the reference population the drift
+        #: detector compares the live workload against.  Guarded by
+        #: ``_stats_lock``; persisted alongside the guard ledger.
+        self._feature_mean: List[float] = []
+        self._feature_count = 0
         #: Per-template match usage, driving the LRU half of the eviction
         #: policy.  Ticks come from a logical clock (one tick per ``match``
         #: call) so eviction order is reproducible across runs.
@@ -561,6 +628,8 @@ class KnowledgeBase:
             subgraph = self._template_graphs.pop(template_id, None)
             self.templates.pop(template_id)
             self._usage.pop(template_id, None)
+            with self._stats_lock:
+                self._guard_records.pop(template_id, None)
             if subgraph is not None:
                 # Template subjects are anonymized per template (uuid-suffixed
                 # resources), so no triple is shared with another template and
@@ -658,17 +727,155 @@ class KnowledgeBase:
     def template_usage(self, template_id: str) -> TemplateUsage:
         return self._usage.get(template_id, TemplateUsage())
 
+    # ------------------------------------------------------------------
+    # steering guard ledger: win/loss tallies + quarantine transitions
+    # ------------------------------------------------------------------
+
+    def guard_record(self, template_id: str) -> TemplateGuardRecord:
+        """Snapshot of one template's ledger (a default record when unseen)."""
+        with self._stats_lock:
+            record = self._guard_records.get(template_id)
+            if record is None:
+                return TemplateGuardRecord()
+            return TemplateGuardRecord.from_dict(record.to_dict())
+
+    def record_steering_outcome(self, template_id: str, win: bool) -> TemplateGuardRecord:
+        """Tally one steered execution's outcome against a template.
+
+        While the template is quarantined, a recorded outcome is a *probe*
+        result: wins extend the probation streak, a loss resets it.  Tallies
+        alone do not mark the knowledge base dirty -- they are soft state that
+        rides along on whichever checkpoint happens next (guard bookkeeping
+        must not force extra checkpoints).  Returns a snapshot of the updated
+        record.
+        """
+        with self._stats_lock:
+            if template_id not in self.templates:
+                return TemplateGuardRecord()
+            record = self._guard_records.get(template_id)
+            if record is None:
+                record = TemplateGuardRecord()
+                self._guard_records[template_id] = record
+            if win:
+                record.wins += 1
+                if record.quarantined:
+                    record.probation_wins += 1
+            else:
+                record.losses += 1
+                if record.quarantined:
+                    record.probation_wins = 0
+            return TemplateGuardRecord.from_dict(record.to_dict())
+
+    def advance_probe_counter(self, template_id: str) -> int:
+        """Bump and return a quarantined template's deterministic probe tick."""
+        with self._stats_lock:
+            record = self._guard_records.get(template_id)
+            if record is None:
+                record = TemplateGuardRecord()
+                self._guard_records[template_id] = record
+            record.probe_counter += 1
+            return record.probe_counter
+
+    def quarantine_template(self, template_id: str) -> bool:
+        """Stop steering from ``template_id``; True on an actual transition.
+
+        Quarantine is durable state (unlike the tallies): the transition marks
+        the knowledge base dirty so the next checkpoint publishes it to every
+        sharded follower.
+        """
+        with self._stats_lock:
+            if template_id not in self.templates:
+                return False
+            record = self._guard_records.get(template_id)
+            if record is None:
+                record = TemplateGuardRecord()
+                self._guard_records[template_id] = record
+            if record.quarantined:
+                return False
+            record.quarantined = True
+            record.probation_wins = 0
+            record.probe_counter = 0
+            self.lifecycle_stats["quarantined"] += 1
+            self._dirty = True
+            return True
+
+    def rearm_template(self, template_id: str) -> bool:
+        """Lift a template's quarantine after probation; True on transition.
+
+        The ledger resets with the quarantine: the re-armed template starts a
+        fresh win/loss record rather than inheriting the losses that got it
+        quarantined (otherwise one more loss would immediately re-trip the
+        threshold and the template could never genuinely recover).
+        """
+        with self._stats_lock:
+            record = self._guard_records.get(template_id)
+            if record is None or not record.quarantined:
+                return False
+            record.quarantined = False
+            record.wins = 0
+            record.losses = 0
+            record.probation_wins = 0
+            record.probe_counter = 0
+            self.lifecycle_stats["rearmed"] += 1
+            self._dirty = True
+            return True
+
+    def is_quarantined(self, template_id: str) -> bool:
+        with self._stats_lock:
+            record = self._guard_records.get(template_id)
+            return record is not None and record.quarantined
+
+    def quarantined_template_ids(self) -> List[str]:
+        with self._stats_lock:
+            return sorted(
+                template_id
+                for template_id, record in self._guard_records.items()
+                if record.quarantined
+            )
+
+    # ------------------------------------------------------------------
+    # learned workload-feature population (drift detection reference)
+    # ------------------------------------------------------------------
+
+    def record_learned_features(self, features: Sequence[float]) -> None:
+        """Fold one learned plan's feature vector into the running mean."""
+        with self._stats_lock:
+            if not self._feature_mean:
+                self._feature_mean = [0.0] * len(features)
+            if len(features) != len(self._feature_mean):
+                return
+            self._feature_count += 1
+            for position, value in enumerate(features):
+                delta = float(value) - self._feature_mean[position]
+                self._feature_mean[position] += delta / self._feature_count
+
+    def learned_feature_population(self) -> Tuple[int, List[float]]:
+        """(sample count, mean feature vector) of the learned population."""
+        with self._stats_lock:
+            return self._feature_count, list(self._feature_mean)
+
     def eviction_order(self) -> List[str]:
         """Template ids sorted most-evictable first.
 
-        The policy evicts cold, low-benefit templates: fewest online hits,
-        then smallest recorded improvement, then least recently used; name and
-        id break the remaining ties so the order is fully deterministic.
+        Chronic steering losers (more recorded losses than wins in the guard
+        ledger) evict before everything else; within each bucket the policy
+        evicts cold, low-benefit templates: fewest online hits, then smallest
+        recorded improvement, then least recently used; name and id break the
+        remaining ties so the order is fully deterministic.  Templates with no
+        guard observations keep exactly the historical order.
         """
+        with self._stats_lock:
+            losers = {
+                template_id
+                for template_id, record in self._guard_records.items()
+                if record.losses > record.wins
+            }
+
         def score(template_id: str) -> Tuple:
             usage = self.template_usage(template_id)
             template = self.templates[template_id]
             return (
+                0 if template_id in losers else 1,
                 usage.hits,
                 template.improvement,
                 usage.last_used_tick,
@@ -704,6 +911,9 @@ class KnowledgeBase:
                 for template_id in list(self._usage):
                     if template_id not in self.templates:
                         del self._usage[template_id]
+                for template_id in list(self._guard_records):
+                    if template_id not in self.templates:
+                        del self._guard_records[template_id]
         return evicted
 
     # ------------------------------------------------------------------
@@ -835,6 +1045,12 @@ class KnowledgeBase:
     #: "a complete new checkpoint is on disk".
     CHECKPOINT_VERSION_FILE = "checkpoint.json"
 
+    #: Steering-guard state (win/loss ledger, quarantine flags, learned
+    #: feature population).  Written before the version file so a committed
+    #: checkpoint always carries a consistent guard snapshot; absent in
+    #: checkpoints from older versions, which load with an empty ledger.
+    GUARD_STATE_FILE = "guard_state.json"
+
     @staticmethod
     def checkpoint_version_on_disk(directory: str) -> int:
         """Version stamp of the checkpoint in ``directory`` (0 = none/legacy).
@@ -906,6 +1122,20 @@ class KnowledgeBase:
             }
             self._write_atomic(
                 path / "templates.json", json.dumps(registry, indent=2, sort_keys=True)
+            )
+            with self._stats_lock:
+                guard_payload = {
+                    "records": {
+                        template_id: record.to_dict()
+                        for template_id, record in self._guard_records.items()
+                        if template_id in self.templates
+                    },
+                    "feature_count": self._feature_count,
+                    "feature_mean": list(self._feature_mean),
+                }
+            self._write_atomic(
+                path / self.GUARD_STATE_FILE,
+                json.dumps(guard_payload, indent=2, sort_keys=True),
             )
             self._write_atomic(
                 path / self.CHECKPOINT_VERSION_FILE,
@@ -1007,6 +1237,25 @@ class KnowledgeBase:
             template_id: ProblemPatternTemplate.from_dict(payload)
             for template_id, payload in registry.items()
         }
+        guard_path = path / cls.GUARD_STATE_FILE
+        if guard_path.exists():
+            try:
+                guard_payload = json.loads(guard_path.read_text(encoding="utf-8"))
+                kb._guard_records = {
+                    template_id: TemplateGuardRecord.from_dict(entry)
+                    for template_id, entry in guard_payload.get("records", {}).items()
+                    if template_id in kb.templates
+                }
+                kb._feature_count = int(guard_payload.get("feature_count", 0))
+                kb._feature_mean = [
+                    float(value) for value in guard_payload.get("feature_mean", [])
+                ]
+            except (ValueError, KeyError, TypeError, AttributeError):
+                # A torn or legacy guard file never blocks a load: the ledger
+                # is advisory state the guard rebuilds from live traffic.
+                kb._guard_records = {}
+                kb._feature_mean = []
+                kb._feature_count = 0
         kb.index_loaded_from_cache = False
         index_path = path / "template_index.json"
         if index_path.exists():
@@ -1035,6 +1284,7 @@ def abstract_template_from_plan(
     widen: float = 2.0,
     improvement: float = 0.0,
     catalog: Optional[Catalog] = None,
+    recommend_root: Optional[PlanNode] = None,
 ) -> ProblemPatternTemplate:
     """Abstract a plan into a stored template, recommending the plan itself.
 
@@ -1043,6 +1293,12 @@ def abstract_template_from_plan(
     ``widen``, and the plan's own guideline remapped onto the labels.  Used to
     seed knowledge bases directly from plans (tests, benchmarks, expert-given
     rewrites).
+
+    ``recommend_root`` stores a *different* plan (over the same tables) as the
+    recommendation while the problem pattern is still abstracted from
+    ``problem_root`` -- i.e. "when you see the optimizer's plan, steer to this
+    one instead".  Passing a deliberately slower plan produces a known-bad
+    template, which is exactly what the regression-guard benchmarks need.
     """
     from repro.core.planutils import canonical_label_map, remap_guideline_document
     from repro.engine.optimizer.guidelines import GuidelineDocument, guideline_from_plan
@@ -1054,8 +1310,9 @@ def abstract_template_from_plan(
         )
         for node in problem_root.walk()
     }
+    recommended = recommend_root if recommend_root is not None else problem_root
     guideline = remap_guideline_document(
-        GuidelineDocument(elements=[guideline_from_plan(problem_root)]), labels
+        GuidelineDocument(elements=[guideline_from_plan(recommended)]), labels
     )
     return knowledge_base.add_template(
         name=name,

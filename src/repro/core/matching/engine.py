@@ -305,13 +305,19 @@ class MatchingEngine:
                 result.reoptimized_elapsed_ms = reoptimized_run.elapsed_ms
         return result
 
-    def steer(self, sql: str, query_name: str = "", span=NULL_SPAN) -> SteeringDecision:
+    def steer(
+        self, sql: str, query_name: str = "", span=NULL_SPAN, match_filter=None
+    ) -> SteeringDecision:
         """Match and (when possible) re-plan one query without executing it.
 
         When no template matches, ``qgm`` is the baseline plan; the caller
         executes whichever plan the decision carries exactly once.  ``span``
         (default: the no-op span) receives ``plan`` / ``match`` / ``steer``
-        child spans for the three phases.
+        child spans for the three phases.  ``match_filter`` (optional,
+        ``matches -> matches``) screens the match list before guidelines are
+        built -- the serving tier's regression guard drops quarantined
+        templates here, *before* the steered re-plan, so a fully blocked
+        request pays no second optimizer call.
         """
         with span.child("plan") as plan_span:
             baseline_qgm = self.database.explain(sql, query_name=query_name)
@@ -319,6 +325,8 @@ class MatchingEngine:
         with span.child("match") as match_span:
             matches, match_time_ms = self.match_plan(baseline_qgm)
             match_span.set("matches", len(matches))
+        if match_filter is not None:
+            matches = list(match_filter(matches))
         guideline_document = self.build_guidelines(matches)
         if guideline_document.is_empty:
             qgm = baseline_qgm

@@ -150,6 +150,12 @@ _TIMELINE_ATTRS = (
     "evicted",
     "version",
     "error",
+    # Steering-guard verdicts: the win/loss/baseline judgement, quarantined
+    # templates blocked from (or probed into) this request, drift score.
+    "verdict",
+    "blocked",
+    "probed",
+    "drift_score",
 )
 
 

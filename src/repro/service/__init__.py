@@ -16,6 +16,13 @@ from repro.service.feedback import (
     QueryObservation,
     sql_fingerprint,
 )
+from repro.service.guard import (
+    GuardScreen,
+    LearningScheduler,
+    SteeringGuard,
+    WorkloadDriftDetector,
+    workload_features,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.service import (
     GaloService,
@@ -34,6 +41,8 @@ __all__ = [
     "ConsistentHashRouter",
     "FeedbackMonitor",
     "GaloService",
+    "GuardScreen",
+    "LearningScheduler",
     "LearningTask",
     "QueryObservation",
     "ServiceConfig",
@@ -42,8 +51,11 @@ __all__ = [
     "ServiceResponse",
     "ShardedGaloService",
     "ShardedServiceConfig",
+    "SteeringGuard",
     "WorkerCrashedError",
+    "WorkloadDriftDetector",
     "serve_workload",
     "serve_workload_sharded",
     "sql_fingerprint",
+    "workload_features",
 ]

@@ -57,6 +57,35 @@ class ServiceConfig:
     #: Factor over a query's best observed runtime before a repeat execution
     #: is considered regressed and enqueued for (re-)learning.
     regression_threshold: float = 1.5
+    #: Steering safety (see :mod:`repro.service.guard`).  With
+    #: ``guard_enabled``, every steered execution is judged against the
+    #: statement's best *unsteered* runtime: within
+    #: ``guard_regression_threshold`` is a win, beyond it a loss.  A template
+    #: with at least ``guard_min_observations`` judged executions whose loss
+    #: rate reaches ``guard_quarantine_loss_rate`` is quarantined -- its
+    #: matches stop steering (requests fall back to the optimizer plan) while
+    #: learning continues.  Every ``guard_probe_interval``-th matched request
+    #: still steers as a shadow probe; ``guard_probation_wins`` consecutive
+    #: probe wins re-arm the template.
+    guard_enabled: bool = True
+    guard_regression_threshold: float = 1.5
+    guard_min_observations: int = 3
+    guard_quarantine_loss_rate: float = 0.5
+    guard_probation_wins: int = 2
+    guard_probe_interval: int = 4
+    #: Workload drift detection (second half of the guard): the live
+    #: workload's feature vectors are averaged over a rolling window of
+    #: ``drift_window`` requests and compared against the mean of the
+    #: population the KB learned from (once that population has at least
+    #: ``drift_min_reference`` samples).  A normalized distance at or above
+    #: ``drift_threshold`` switches the learning queue from FIFO to
+    #: frequency x estimated-benefit priority and, on the onset transition,
+    #: enqueues re-learning tasks for the window's ``drift_relearn_limit``
+    #: hottest statements.
+    drift_window: int = 64
+    drift_threshold: float = 0.5
+    drift_min_reference: int = 4
+    drift_relearn_limit: int = 4
     #: Knowledge-base size cap enforced after each background learning step
     #: (None = unbounded).  Eviction follows the cold/low-benefit-first policy
     #: of :meth:`repro.core.knowledge_base.KnowledgeBase.eviction_order`.
@@ -109,6 +138,24 @@ class ServiceConfig:
             raise ValueError("q_error_threshold must be >= 1.0 (1.0 = exact)")
         if self.regression_threshold < 1.0:
             raise ValueError("regression_threshold must be >= 1.0")
+        if self.guard_regression_threshold < 1.0:
+            raise ValueError("guard_regression_threshold must be >= 1.0")
+        if self.guard_min_observations < 1:
+            raise ValueError("guard_min_observations must be >= 1")
+        if not 0.0 < self.guard_quarantine_loss_rate <= 1.0:
+            raise ValueError("guard_quarantine_loss_rate must be in (0, 1]")
+        if self.guard_probation_wins < 1:
+            raise ValueError("guard_probation_wins must be >= 1")
+        if self.guard_probe_interval < 1:
+            raise ValueError("guard_probe_interval must be >= 1")
+        if self.drift_window < 2:
+            raise ValueError("drift_window must be >= 2")
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be > 0")
+        if self.drift_min_reference < 1:
+            raise ValueError("drift_min_reference must be >= 1")
+        if self.drift_relearn_limit < 0:
+            raise ValueError("drift_relearn_limit must be >= 0")
         if self.kb_capacity is not None and self.kb_capacity < 0:
             raise ValueError("kb_capacity must be >= 0")
         if (

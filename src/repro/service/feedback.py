@@ -7,9 +7,15 @@ Queries that are badly mis-estimated -- the precondition for GALO finding a
 better plan -- or that regressed against their best observed runtime are
 turned into :class:`LearningTask` items for the background learning queue.
 
-Each distinct SQL text is enqueued at most once (deduplicated by hash): the
-learning tier already merges structurally identical sub-queries, so repeated
-tasks for the same statement would only burn learner time.
+Each distinct SQL text is enqueued at most once *per learning cycle*
+(deduplicated by hash): the learning tier already merges structurally
+identical sub-queries, so repeated tasks for the same statement would only
+burn learner time.  After the learner finishes the statement
+(:meth:`FeedbackMonitor.mark_learned`) a later *regression* on the same
+fingerprint re-arms it -- the learned template may itself be the problem --
+while repeat misestimation alone stays deduplicated (re-learning the same
+estimates would produce the same templates).  Eviction or a dropped task
+(:meth:`FeedbackMonitor.forget`) re-arms the statement completely.
 """
 
 from __future__ import annotations
@@ -84,8 +90,13 @@ class FeedbackMonitor:
         self._lock = threading.Lock()
         #: sql hash -> runtime history (insertion-ordered for FIFO trimming).
         self._history: Dict[str, _SqlHistory] = {}
-        #: sql hashes already handed to the learning queue (never re-enqueued).
+        #: sql hash -> dedup state: the enqueue reason while the statement is
+        #: queued or learning, ``_LEARNED`` once the learner finished it (at
+        #: which point a fresh regression may re-enqueue -- see ``observe``).
         self._enqueued: Dict[str, str] = {}
+
+    #: Dedup-state marker for statements whose learning completed.
+    _LEARNED = "learned"
 
     # ------------------------------------------------------------------
 
@@ -127,13 +138,20 @@ class FeedbackMonitor:
                 reason = "misestimated"
             elif observation.regressed:
                 reason = "regressed"
-            if reason is not None and sql_hash not in self._enqueued:
+            state = self._enqueued.get(sql_hash)
+            # A statement re-arms once its learning cycle completed, but only
+            # for *regressions*: the learned template may be what regressed
+            # it.  Repeat misestimation stays deduplicated -- re-learning the
+            # same estimates would just reproduce the same templates.
+            rearmed = state == self._LEARNED and reason == "regressed"
+            if reason is not None and (state is None or rearmed):
                 # Bound the dedup map too (FIFO): in a very long-lived service
                 # the oldest statements become learnable again, which is
                 # harmless -- learning merges duplicate sub-queries anyway.
                 while len(self._enqueued) >= self.max_tracked_statements * 4:
                     oldest = next(iter(self._enqueued))
                     del self._enqueued[oldest]
+                self._enqueued.pop(sql_hash, None)
                 self._enqueued[sql_hash] = reason
                 observation.task = LearningTask(
                     sql=sql,
@@ -161,6 +179,19 @@ class FeedbackMonitor:
         """Allow ``sql`` to be enqueued again (e.g. after a KB eviction)."""
         with self._lock:
             self._enqueued.pop(sql_fingerprint(sql), None)
+
+    def mark_learned(self, sql: str) -> None:
+        """Record that ``sql``'s learning cycle completed.
+
+        The statement stays deduplicated against repeat misestimation but
+        re-arms for regression-triggered re-learning (the learned template
+        itself may be what regressed it).  A statement never enqueued is
+        left untracked.
+        """
+        with self._lock:
+            sql_hash = sql_fingerprint(sql)
+            if sql_hash in self._enqueued:
+                self._enqueued[sql_hash] = self._LEARNED
 
     @property
     def enqueued_count(self) -> int:

@@ -49,7 +49,18 @@ from repro.obs import (
 )
 from repro.service.config import ServiceConfig
 from repro.service.feedback import FeedbackMonitor, LearningTask
+from repro.service.guard import (
+    GuardScreen,
+    LearningScheduler,
+    SteeringGuard,
+    workload_features,
+)
 from repro.service.metrics import ServiceMetrics
+
+
+#: Sentinel carried by the learning queue; one token per staged task (the
+#: tasks themselves live in the :class:`LearningScheduler`).
+_LEARNING_TOKEN = object()
 
 
 @dataclass
@@ -113,6 +124,28 @@ class GaloService:
             q_error_threshold=self.config.q_error_threshold,
             regression_threshold=self.config.regression_threshold,
         )
+        #: Regression guard + drift detector (None when disabled).  The guard
+        #: registers its counters on ``metrics`` either way it is built, so a
+        #: guard-on service exposes the same counter set from request one.
+        self.guard: Optional[SteeringGuard] = None
+        if self.config.guard_enabled:
+            self.guard = SteeringGuard(
+                regression_threshold=self.config.guard_regression_threshold,
+                min_observations=self.config.guard_min_observations,
+                quarantine_loss_rate=self.config.guard_quarantine_loss_rate,
+                probation_wins=self.config.guard_probation_wins,
+                probe_interval=self.config.guard_probe_interval,
+                drift_window=self.config.drift_window,
+                drift_threshold=self.config.drift_threshold,
+                drift_min_reference=self.config.drift_min_reference,
+                drift_relearn_limit=self.config.drift_relearn_limit,
+                metrics=self.metrics,
+            )
+        #: Pending learning tasks; the asyncio queue carries one token per
+        #: task (preserving its backpressure/join semantics) while the
+        #: scheduler decides pop order -- FIFO normally, frequency x benefit
+        #: priority while the guard reports workload drift.
+        self._scheduler = LearningScheduler(self.guard)
         self._serve_pool: Optional[ThreadPoolExecutor] = None
         self._learn_pool: Optional[ThreadPoolExecutor] = None
         self._learning_queue: Optional[asyncio.Queue] = None
@@ -303,6 +336,12 @@ class GaloService:
             return
         if learning_task is not None:
             self._enqueue_learning(learning_task)
+        if self.guard is not None:
+            # Targeted re-learning staged by a drift onset (worker threads
+            # only stage; the queue is touched here, on the loop thread).
+            for task in self.guard.take_drift_tasks():
+                if self.config.learning_enabled:
+                    self._enqueue_learning(task)
 
     async def stream(
         self, requests: Sequence[Union[str, Tuple[str, str], ServiceRequest]]
@@ -366,6 +405,11 @@ class GaloService:
         # worker threads are waiting for a thread, not running.
         gauges["serve_queue_depth"] = max(0, self._pending - self.config.max_workers)
         gauges["learning_backlog"] = self.learning_backlog
+        if self.guard is not None:
+            gauges["quarantined_templates"] = len(
+                self.galo.knowledge_base.quarantined_template_ids()
+            )
+            gauges["workload_drift_score"] = self.guard.drift_score
         if self.trace_store is not None:
             store_stats = self.trace_store.stats()
             gauges["traces_stored"] = store_stats["traces_stored"]
@@ -434,14 +478,32 @@ class GaloService:
             # charges instead of recomputing them, and the memo's epoch check
             # drops entries the moment the data changes.
             memo = self.galo.matching_engine.execution_memo()
-            if self.config.steering_enabled and len(self.galo.knowledge_base):
+            # The KB reference is captured once per request: a sharded
+            # hot-reload swaps the object mid-flight, and the guard must
+            # screen against and record into the same KB the match used.
+            knowledge_base = self.galo.knowledge_base
+            guard = self.guard
+            screen: Optional[GuardScreen] = None
+            if self.config.steering_enabled and len(knowledge_base):
+                match_filter = None
+                if guard is not None:
+                    def match_filter(matches, _kb=knowledge_base):
+                        nonlocal screen
+                        screen = guard.screen(_kb, matches)
+                        return screen.allowed
+
                 decision = self.galo.matching_engine.steer(
-                    sql, query_name=query_name, span=request_span
+                    sql, query_name=query_name, span=request_span,
+                    match_filter=match_filter,
                 )
                 qgm = decision.qgm
                 steered = decision.steered
                 matched_ids = decision.matched_template_ids
                 match_time_ms = decision.match_time_ms
+                if screen is not None and screen.degraded:
+                    request_span.set("blocked", list(screen.blocked))
+                if screen is not None and screen.probed:
+                    request_span.set("probed", list(screen.probed))
             else:
                 with request_span.child("plan"):
                     qgm = database.explain(sql, query_name=query_name)
@@ -489,6 +551,27 @@ class GaloService:
             else:
                 max_q_error = result.max_q_error(qgm)
             feedback_span.set("max_q_error", max_q_error)
+            if guard is not None:
+                # Ledger first (win/loss vs the optimizer baseline, plus any
+                # quarantine / re-arm transition), then the drift window.
+                verdict = guard.observe(
+                    knowledge_base,
+                    sql=sql,
+                    elapsed_ms=result.elapsed_ms,
+                    steered=steered,
+                    template_ids=matched_ids,
+                )
+                feedback_span.set("verdict", verdict)
+                if self.config.learning_enabled:
+                    guard.observe_workload(
+                        knowledge_base,
+                        sql=sql,
+                        query_name=query_name,
+                        qgm=qgm,
+                        max_q_error=max_q_error,
+                    )
+                    if guard.drift_score:
+                        feedback_span.set("drift_score", round(guard.drift_score, 4))
 
         self.metrics.increment("completed")
         if steered:
@@ -540,13 +623,17 @@ class GaloService:
             self.feedback.forget(task.sql)
             return
         try:
-            # Stamp the enqueue time so the learner can report queue dwell.
-            queue.put_nowait(replace(task, enqueued_at=time.perf_counter()))
-            self.metrics.increment("learning_enqueued")
+            # One token per task: the queue keeps its bound/join semantics,
+            # the scheduler (same thread) holds the task and picks pop order.
+            queue.put_nowait(_LEARNING_TOKEN)
         except asyncio.QueueFull:
             self.metrics.increment("learning_dropped")
             # Dropped, not deferred: allow the statement to re-trigger later.
             self.feedback.forget(task.sql)
+        else:
+            # Stamp the enqueue time so the learner can report queue dwell.
+            self._scheduler.push(replace(task, enqueued_at=time.perf_counter()))
+            self.metrics.increment("learning_enqueued")
 
     async def _wait_for_idle(self, timeout_seconds: float) -> bool:
         """Wait until no requests are in flight, bounded by *loop time*.
@@ -576,13 +663,13 @@ class GaloService:
         interval = self.config.kb_checkpoint_interval_seconds
         while True:
             if interval is None:
-                task = await self._learning_queue.get()
+                await self._learning_queue.get()
             else:
                 # Wake at least once per checkpoint interval even when no
                 # learning work arrives: the timer must fire on a quiet
                 # service too (the dirty check makes an idle wake-up free).
                 try:
-                    task = await asyncio.wait_for(
+                    await asyncio.wait_for(
                         self._learning_queue.get(), timeout=interval
                     )
                 except asyncio.TimeoutError:
@@ -590,6 +677,9 @@ class GaloService:
                         self._learn_pool, self._checkpoint_kb_sync
                     )
                     continue
+            # The token guarantees a task is staged (push follows put_nowait
+            # with no await in between, on this same thread).
+            task = self._scheduler.pop()
             # Idle-first: learning is GIL-bound CPU work that competes with
             # the serving workers, so prefer a window with no requests in
             # flight (the paper ran its learning tier during non-peak hours).
@@ -691,8 +781,25 @@ class GaloService:
             self.metrics.increment("learning_completed")
             self.metrics.increment("templates_learned", len(record.templates_learned))
             span.set("templates", len(record.templates_learned))
+            # Re-arm the statement's feedback entry: a *future* regression on
+            # this fingerprint must be able to trigger re-learning now that
+            # its templates have (re-)learned (satellite of the guard work --
+            # previously each statement was enqueued at most once per service
+            # lifetime).
+            self.feedback.mark_learned(task.sql)
             for template_id in record.templates_learned:
                 self._template_sources[template_id] = task.sql
+            if record.templates_learned:
+                # Fold this statement's plan features into the KB's learned
+                # population -- the reference the drift detector compares the
+                # live workload against.  explain() hits the plan cache.
+                self.galo.knowledge_base.record_learned_features(
+                    workload_features(
+                        self.galo.database.explain(
+                            task.sql, query_name=task.query_name or task.sql_hash
+                        )
+                    )
+                )
             if self.config.kb_capacity is not None:
                 with span.child("enforce_capacity") as evict_span:
                     evicted = self.galo.knowledge_base.enforce_capacity(

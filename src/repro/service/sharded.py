@@ -208,6 +208,7 @@ async def _shard_serve(
             "pid": os.getpid(),
             "kb_version": kb_version(),
             "kb_templates": len(galo.knowledge_base),
+            "quarantined_templates": len(galo.knowledge_base.quarantined_template_ids()),
             "pending": service.pending,
             "learning_backlog": service.learning_backlog,
             "metrics": service.metrics.state(),
@@ -671,6 +672,10 @@ class ShardedGaloService:
             "kb_templates": max(
                 (status["kb_templates"] for status in live), default=0
             ),
+            "quarantined_templates": max(
+                (status.get("quarantined_templates", 0) for status in live),
+                default=0,
+            ),
             "learning_backlog": sum(status["learning_backlog"] for status in live),
         }
         page = merged.render_prometheus(gauges).rstrip("\n")
@@ -708,6 +713,13 @@ class ShardedGaloService:
             lines.append(
                 render_sample(
                     f"{prefix}kb_templates", status["kb_templates"], {"shard": shard}
+                )
+            )
+            lines.append(
+                render_sample(
+                    f"{prefix}quarantined_templates",
+                    status.get("quarantined_templates", 0),
+                    {"shard": shard},
                 )
             )
             lines.append(

@@ -544,6 +544,7 @@ class TestKbCheckpointing:
         assert not kb.dirty
         assert sorted(p.name for p in tmp_path.iterdir()) == [
             "checkpoint.json",  # version stamp, written last as commit point
+            "guard_state.json",
             "knowledge_base.nt",
             "template_index.json",
             "templates.json",
